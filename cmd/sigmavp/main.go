@@ -1,0 +1,64 @@
+// Command sigmavp regenerates the paper's evaluation artifacts (Table 1 and
+// Figs. 9–13) from the simulated substrates.
+//
+// Usage:
+//
+//	sigmavp [-scale N] table1|fig3|fig9a|fig9b|fig10a|fig10b|fig11|fig12|fig13|sweep|scaling|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.Int("scale", 8, "workload scale for fig11/fig12/fig13/sweep/scaling")
+	app := flag.String("app", "BlackScholes", "application for the scaling study")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sigmavp [-scale N] table1|fig3|fig9a|fig9b|fig10a|fig10b|fig11|fig12|fig13|sweep|scaling|all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	runners := map[string]func() (fmt.Stringer, error){
+		"table1":  func() (fmt.Stringer, error) { return experiments.Table1() },
+		"fig9a":   func() (fmt.Stringer, error) { return experiments.Fig9a() },
+		"fig9b":   func() (fmt.Stringer, error) { return experiments.Fig9b() },
+		"fig10a":  func() (fmt.Stringer, error) { return experiments.Fig10a() },
+		"fig10b":  func() (fmt.Stringer, error) { return experiments.Fig10b() },
+		"fig11":   func() (fmt.Stringer, error) { return experiments.Fig11(*scale) },
+		"fig12":   func() (fmt.Stringer, error) { return experiments.Fig12(*scale) },
+		"fig13":   func() (fmt.Stringer, error) { return experiments.Fig13(*scale) },
+		"sweep":   func() (fmt.Stringer, error) { return experiments.EstimationSweep(*scale) },
+		"scaling": func() (fmt.Stringer, error) { return experiments.Scaling(*app, *scale) },
+	}
+	order := []string{"table1", "fig3", "fig9a", "fig9b", "fig10a", "fig10b", "fig11", "fig12", "fig13", "sweep", "scaling"}
+
+	what := flag.Arg(0)
+	var todo []string
+	if what == "all" {
+		todo = order
+	} else if _, ok := runners[what]; ok {
+		todo = []string{what}
+	} else {
+		fmt.Fprintf(os.Stderr, "sigmavp: unknown experiment %q\n", what)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, name := range todo {
+		res, err := runners[name]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sigmavp: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.String())
+	}
+}

@@ -1,0 +1,60 @@
+// Command sigmavpd runs the ΣVP host service as a standalone daemon: VPs in
+// other processes connect over TCP (the paper's socket flavour of the IPC
+// manager) and multiplex this process's simulated host GPU. Pair it with
+// `vpsim -connect <addr>`.
+//
+// Usage:
+//
+//	sigmavpd [-listen 127.0.0.1:7075] [-arch quadro|k520] [-baseline]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/ipc"
+	"repro/internal/sched"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7075", "TCP listen address")
+	archName := flag.String("arch", "quadro", "host GPU: quadro or k520")
+	baseline := flag.Bool("baseline", false, "disable the optimizations (serialized dispatch)")
+	flag.Parse()
+
+	opts := core.DefaultOptions()
+	switch *archName {
+	case "quadro":
+		opts.Arch = arch.Quadro4000()
+	case "k520":
+		opts.Arch = arch.GridK520()
+	default:
+		fmt.Fprintf(os.Stderr, "sigmavpd: unknown arch %q\n", *archName)
+		os.Exit(2)
+	}
+	if *baseline {
+		opts.Policy = sched.PolicyFIFO
+		opts.Coalesce = false
+	}
+	svc := core.NewService(opts)
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sigmavpd:", err)
+		os.Exit(1)
+	}
+	srv := ipc.ServeWithHooks(l, svc.Handle, svc.RegisterVP, svc.UnregisterVP)
+	fmt.Printf("sigmavpd: serving %s on %s (optimizations %v)\n",
+		opts.Arch.Name, srv.Addr(), !*baseline)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	srv.Close()
+	fmt.Printf("sigmavpd: shut down; simulated device time %.3f ms\n", svc.Sync()*1e3)
+}

@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of "ΣVP: Host-GPU
+// Multiplexing for Efficient Simulation of Multiple Embedded GPUs on
+// Virtual Platforms" (Jung & Carloni, DAC 2015).
+//
+// The library lives under internal/: the ΣVP host service (internal/core)
+// multiplexes a simulated host GPU (internal/hostgpu) among virtual
+// platforms (internal/vp) whose guest applications program against a
+// CUDA-like runtime (internal/cudart). The paper's two optimizations are
+// implemented by internal/sched (Kernel Interleaving) and internal/coalesce
+// (Kernel Coalescing); internal/estimate implements the profile-based time
+// and power estimation of Section 4. internal/experiments regenerates every
+// table and figure of the evaluation; bench_test.go in this directory wraps
+// each experiment as a testing.B benchmark.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for paper-vs-
+// measured results.
+package repro

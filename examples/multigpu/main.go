@@ -1,0 +1,77 @@
+// Multigpu: the plural in the paper's title — "ΣVP multiplexes the host
+// GPUs". Eight VPs are partitioned across the machine's two host GPUs
+// (Quadro 4000 and Grid K520); each device runs its own Re-scheduler, so
+// interleaving and coalescing happen among the VPs sharing a device, and the
+// session makespan is the slower device's.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/cudart"
+	"repro/internal/devmem"
+	"repro/internal/kernels"
+	"repro/internal/vp"
+)
+
+func app(v *vp.VP) error {
+	bench, err := kernels.Get("BlackScholes")
+	if err != nil {
+		return err
+	}
+	w := bench.MakeWorkload(2)
+	l := bench.NewLaunch(w)
+	l.Bindings = map[string]devmem.Ptr{}
+	for _, decl := range bench.Kernel.Bufs {
+		ptr, err := v.Ctx.Malloc(w.BufBytes[decl.Name])
+		if err != nil {
+			return err
+		}
+		l.Bindings[decl.Name] = ptr
+	}
+	for name, data := range w.Inputs {
+		if err := v.Ctx.MemcpyH2D(l.Bindings[name], data); err != nil {
+			return err
+		}
+	}
+	for it := 0; it < 4; it++ {
+		if err := v.Ctx.LaunchKernelAsync(0, l); err != nil {
+			return err
+		}
+	}
+	if err := v.Ctx.DeviceSynchronize(); err != nil {
+		return err
+	}
+	if _, err := v.Ctx.MemcpyD2H(l.Bindings["call"], w.BufBytes["call"]); err != nil {
+		return err
+	}
+	fmt.Printf("  vp%d done at simulated t=%.3f ms\n", v.ID, v.Clock()*1e3)
+	return nil
+}
+
+func main() {
+	m, err := core.NewMultiService(core.DefaultOptions(), arch.HostGPUs())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fleet := vp.NewFleet(8, arch.ARMVersatile(), func(id int) *cudart.Context {
+		m.RegisterVP(id)
+		return cudart.NewContext(id, m.Backend(id))
+	})
+	err = fleet.Run(func(v *vp.VP) error {
+		defer m.UnregisterVP(v.ID)
+		return app(v)
+	})
+	m.Flush()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < m.Devices(); i++ {
+		fmt.Printf("device %d (%s): busy until %.3f ms\n",
+			i, m.Device(i).GPU.Arch.Name, m.Device(i).Sync()*1e3)
+	}
+	fmt.Printf("session makespan: %.3f ms\n", m.Sync()*1e3)
+}

@@ -1,0 +1,162 @@
+package arch
+
+// The preset descriptors below model the three GPUs of the paper's
+// experimental setup (Section 5): NVIDIA Quadro 4000 and Grid K520 as host
+// GPUs, and NVIDIA Tegra K1 as the simulated embedded target. Geometry and
+// clocks follow the public specifications; per-class latencies follow the
+// microbenchmarking literature the paper cites [22] (Wong et al., ISPASS'10)
+// for Fermi, scaled for Kepler; energies are representative pJ/op figures.
+//
+// The numbers do not need to match the silicon exactly — the reproduction
+// compares *shapes* — but they must differ between architectures in the same
+// directions as the real parts (Kepler issues wider but with longer ALU
+// latency than Fermi; Tegra K1 is a single-SMX Kepler with a small cache and
+// low static power), because those differences are what the C/C′/C″
+// estimation ladder of Section 4 is designed to bridge.
+
+// Quadro4000 models the Fermi-class host GPU (GF100, 256 cores, 8 SMs).
+func Quadro4000() GPU {
+	return GPU{
+		Name:            "Quadro 4000",
+		SMCount:         8,
+		CoresPerSM:      32,
+		WarpSize:        32,
+		MaxThreadsPerSM: 1536,
+		MaxBlocksPerSM:  8,
+		SharedMemPerSM:  48 * 1024,
+		RegsPerSM:       32768,
+		ClockMHz:        950,
+		IPC:             256, // peak thread-instructions/cycle (total cores)
+
+		//               FP32 FP64 Int Bit  B  Ld  St
+		Latency: ClassVec{18, 24, 18, 18, 14, 40, 32},
+		Expand:  ClassVec{1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0},
+
+		L2KiB:             512,
+		LineBytes:         128,
+		Assoc:             8,
+		MissPenaltyCycles: 420,
+		MemBWGBps:         89.6,
+
+		CopyBWGBps:    5.6, // PCIe 2.0 x16 effective
+		CopyLatencyUS: 12,
+
+		LaunchOverheadUS: 7,
+
+		StaticPowerW: 38,
+		//                      FP32    FP64    Int     Bit     B       Ld      St
+		EnergyPerInstr: ClassVec{95e-12, 210e-12, 70e-12, 55e-12, 40e-12, 180e-12, 165e-12},
+		MissEnergyJ:    1.1e-9,
+	}
+}
+
+// GridK520 models the Kepler-class host GPU (one of the two GK104 chips:
+// 1536 cores, 8 SMX).
+func GridK520() GPU {
+	return GPU{
+		Name:            "Grid K520",
+		SMCount:         8,
+		CoresPerSM:      192,
+		WarpSize:        32,
+		MaxThreadsPerSM: 2048,
+		MaxBlocksPerSM:  16,
+		SharedMemPerSM:  48 * 1024,
+		RegsPerSM:       65536,
+		ClockMHz:        800,
+		IPC:             1536, // peak thread-instructions/cycle (total cores)
+
+		//               FP32 FP64 Int Bit  B  Ld  St
+		Latency: ClassVec{9, 32, 9, 9, 8, 45, 36},
+		Expand:  ClassVec{1.0, 1.15, 1.0, 1.0, 1.0, 1.0, 1.0},
+
+		L2KiB:             512,
+		LineBytes:         128,
+		Assoc:             16,
+		MissPenaltyCycles: 440,
+		MemBWGBps:         160,
+
+		CopyBWGBps:    6.2,
+		CopyLatencyUS: 10,
+
+		LaunchOverheadUS: 5,
+
+		StaticPowerW: 47,
+		//                      FP32    FP64    Int     Bit     B       Ld      St
+		EnergyPerInstr: ClassVec{62e-12, 185e-12, 48e-12, 38e-12, 30e-12, 150e-12, 140e-12},
+		MissEnergyJ:    0.9e-9,
+	}
+}
+
+// TegraK1 models the embedded target GPU of the paper's timing and power
+// experiments: a single-SMX Kepler (192 cores) in a mobile power envelope.
+func TegraK1() GPU {
+	return GPU{
+		Name:            "Tegra K1",
+		SMCount:         1,
+		CoresPerSM:      192,
+		WarpSize:        32,
+		MaxThreadsPerSM: 2048,
+		MaxBlocksPerSM:  16,
+		SharedMemPerSM:  48 * 1024,
+		RegsPerSM:       65536,
+		ClockMHz:        852,
+		IPC:             192, // peak thread-instructions/cycle (total cores)
+
+		//               FP32 FP64  Int Bit  B  Ld  St
+		Latency: ClassVec{9, 44, 9, 9, 8, 60, 48},
+		Expand:  ClassVec{1.0, 1.5, 1.0, 1.0, 1.0, 1.0, 1.0}, // FP64 via reduced-rate units
+
+		L2KiB:             128,
+		LineBytes:         64,
+		Assoc:             8,
+		MissPenaltyCycles: 520,
+		MemBWGBps:         14.9, // shared LPDDR3
+
+		CopyBWGBps:    7.5, // unified memory: copies are cheap on-die moves
+		CopyLatencyUS: 6,
+
+		LaunchOverheadUS: 9,
+
+		StaticPowerW: 1.4,
+		//                      FP32    FP64    Int     Bit     B       Ld      St
+		EnergyPerInstr: ClassVec{28e-12, 96e-12, 22e-12, 18e-12, 14e-12, 80e-12, 72e-12},
+		MissEnergyJ:    0.45e-9,
+	}
+}
+
+// HostXeon models one core of the 32-core Intel Xeon host machine of the
+// paper's setup, used for the native-C and device-emulation baselines.
+func HostXeon() CPU {
+	return CPU{
+		Name:      "Intel Xeon (host)",
+		ClockMHz:  2900,
+		ScalarCPI: 0.94, // superscalar scalar code
+		EmulCPI:   0.90, // device emulation: compiled per-thread code
+		//                        FP32 FP64 Int  Bit  B    Ld   St
+		EmulClassCPI:     ClassVec{1.35, 1.9, 1.1, 1.05, 1.1, 1.2, 1.2},
+		BTScalarSlowdown: 1,
+		BTEmulSlowdown:   1,
+		MemBWGBps:        8.5,
+	}
+}
+
+// ARMVersatile models the guest ARM core of the QEMU ARM Versatile PB
+// virtual platform. Simulated guest code runs through dynamic binary
+// translation; FP-heavy emulation suffers a larger slowdown than plain
+// scalar code because every FP64 operation becomes a helper call.
+func ARMVersatile() CPU {
+	return CPU{
+		Name:      "QEMU ARM Versatile PB",
+		ClockMHz:  2900, // translated code executes on the host clock
+		ScalarCPI: 0.94,
+		EmulCPI:   0.90,
+		//                        FP32 FP64 Int  Bit  B    Ld   St
+		EmulClassCPI:     ClassVec{1.35, 1.9, 1.1, 1.05, 1.1, 1.2, 1.2},
+		BTScalarSlowdown: 32.9,
+		BTEmulSlowdown:   41.0,
+		MemBWGBps:        8.5, // host memcpy speed; the BT slowdowns scale it
+	}
+}
+
+// HostGPUs returns the host GPU presets used across the experiments.
+func HostGPUs() []GPU { return []GPU{Quadro4000(), GridK520()} }

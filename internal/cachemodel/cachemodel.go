@@ -1,0 +1,141 @@
+// Package cachemodel implements the probabilistic data-cache behaviour model
+// the paper adopts from Puranik et al. [17] to refine its timing estimate
+// C″ (Eq. 5): given a description of how a kernel addresses each buffer, it
+// predicts the cache miss count and the resulting data-dependency stall
+// cycles Υ[data] for a particular cache geometry.
+//
+// The model is deliberately analytic and deterministic — the same
+// expressions evaluate for the host GPU (removing host stalls) and for the
+// target GPU (adding target stalls), which is exactly the term swap of
+// Eq. 5: C″ = C′ − Υ[data]{K,H} + Υ[data]{K,T}.
+package cachemodel
+
+import (
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/kpl"
+)
+
+// Access summarizes how a kernel uses one buffer during one launch.
+type Access struct {
+	Pattern  kpl.AccessPattern
+	Accesses float64 // dynamic load+store count against the buffer
+	Elems    int     // distinct elements addressed (working set, in elements)
+	ElemSize int     // bytes per element
+	Stride   int     // elements between consecutive accesses (Strided only)
+}
+
+// WorkingSetBytes returns the bytes the access stream touches.
+func (a Access) WorkingSetBytes() float64 {
+	return float64(a.Elems) * float64(a.ElemSize)
+}
+
+// MissRate predicts the probability that one access misses in the cache of
+// GPU g. The components:
+//
+//   - compulsory misses: a streaming pass over W bytes must fetch W/line
+//     lines, so even a perfectly cached pass misses elemSize/line of the
+//     time (amortized over the line);
+//   - capacity/reuse: when the access stream revisits elements (reuse factor
+//     r = accesses/elems > 1), revisits hit only while the working set fits;
+//     the fraction that spills is (W − C_eff)/W;
+//   - conflict: associativity leaves a residual conflict probability modeled
+//     by shrinking the effective capacity to C·(1 − 1/(assoc+1)).
+func MissRate(g *arch.GPU, a Access) float64 {
+	if a.Accesses <= 0 || a.Elems <= 0 || a.ElemSize <= 0 {
+		return 0
+	}
+	line := float64(g.LineBytes)
+	capacity := float64(g.L2KiB) * 1024 * (1 - 1/float64(g.Assoc+1))
+	ws := a.WorkingSetBytes()
+
+	// Fraction of the working set that cannot be retained for reuse.
+	spill := 0.0
+	if ws > capacity {
+		spill = (ws - capacity) / ws
+	}
+
+	switch a.Pattern {
+	case kpl.AccessBroadcast:
+		// Every thread reads the same small region: after the first touch of
+		// each line, everything hits.
+		lines := math.Ceil(ws / line)
+		return clamp01(lines / a.Accesses)
+
+	case kpl.AccessSeq:
+		compulsory := float64(a.ElemSize) / line
+		reuse := a.Accesses / float64(a.Elems)
+		if reuse <= 1 {
+			return clamp01(compulsory)
+		}
+		// First pass pays compulsory; spilled revisits refetch their lines.
+		first := 1 / reuse
+		return clamp01(compulsory * (first + (1-first)*spill))
+
+	case kpl.AccessStrided:
+		stride := a.Stride
+		if stride < 1 {
+			stride = 1
+		}
+		// Each access lands stride·elemSize bytes from the previous one: once
+		// the stride exceeds the line, every access opens a new line.
+		perAccess := clamp01(float64(stride*a.ElemSize) / line)
+		reuse := a.Accesses / float64(a.Elems)
+		if reuse <= 1 {
+			return perAccess
+		}
+		first := 1 / reuse
+		return clamp01(perAccess * (first + (1-first)*spill))
+
+	case kpl.AccessRandom:
+		// A random touch hits only if its line happens to be resident.
+		resident := clamp01(capacity / math.Max(ws, 1))
+		return clamp01(1 - resident)
+	}
+	return 0
+}
+
+// Misses predicts the absolute miss count for the access stream.
+func Misses(g *arch.GPU, a Access) float64 {
+	return MissRate(g, a) * a.Accesses
+}
+
+// Result aggregates the model's prediction for one kernel launch.
+type Result struct {
+	Accesses float64
+	Misses   float64
+	// StallCycles is Υ[data]: the data-dependency stall cycles the misses
+	// inflict after overlap with independent warps.
+	StallCycles float64
+}
+
+// maxOverlapWarps bounds how many concurrent warps can cover one miss's
+// latency (MSHR-style limit).
+const maxOverlapWarps = 16.0
+
+// Analyze predicts misses and Υ[data] for a launch that keeps residentWarps
+// warps in flight on each of activeSMs SMs. More resident warps hide more of
+// each miss's penalty, and misses distribute across the active SMs; the
+// remainder surfaces as stall cycles on the kernel's critical path.
+func Analyze(g *arch.GPU, accesses []Access, residentWarps, activeSMs int) Result {
+	var r Result
+	for _, a := range accesses {
+		r.Accesses += a.Accesses
+		r.Misses += Misses(g, a)
+	}
+	overlap := math.Min(math.Max(float64(residentWarps), 1), maxOverlapWarps)
+	sms := math.Max(float64(activeSMs), 1)
+	r.StallCycles = r.Misses * g.MissPenaltyCycles / (overlap * sms)
+	return r
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,171 @@
+package cachemodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/kpl"
+)
+
+func quadro() *arch.GPU { g := arch.Quadro4000(); return &g }
+func tegra() *arch.GPU  { g := arch.TegraK1(); return &g }
+
+func TestMissRateBounds(t *testing.T) {
+	g := quadro()
+	patterns := []kpl.AccessPattern{kpl.AccessSeq, kpl.AccessStrided, kpl.AccessRandom, kpl.AccessBroadcast}
+	f := func(accesses uint32, elems uint16, elemSize uint8, stride uint8, pi uint8) bool {
+		a := Access{
+			Pattern:  patterns[int(pi)%len(patterns)],
+			Accesses: float64(accesses % 1e6),
+			Elems:    int(elems),
+			ElemSize: int(elemSize%16) + 1,
+			Stride:   int(stride),
+		}
+		r := MissRate(g, a)
+		return r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroAccessIsZero(t *testing.T) {
+	if MissRate(quadro(), Access{}) != 0 {
+		t.Error("empty access should have zero miss rate")
+	}
+	if Misses(quadro(), Access{Pattern: kpl.AccessSeq}) != 0 {
+		t.Error("empty access should have zero misses")
+	}
+}
+
+func TestSequentialStreamingIsCompulsoryOnly(t *testing.T) {
+	g := quadro() // 128B lines
+	a := Access{Pattern: kpl.AccessSeq, Accesses: 1e6, Elems: 1e6, ElemSize: 4}
+	got := MissRate(g, a)
+	want := 4.0 / 128.0
+	if got != want {
+		t.Errorf("streaming miss rate = %v, want %v", got, want)
+	}
+}
+
+func TestSequentialReuseFitsInCache(t *testing.T) {
+	g := quadro()
+	// 64 KiB working set (fits in 512 KiB L2), read 10 times.
+	a := Access{Pattern: kpl.AccessSeq, Accesses: 10 * 16384, Elems: 16384, ElemSize: 4}
+	got := MissRate(g, a)
+	// Only the first pass pays compulsory misses.
+	want := (4.0 / 128.0) / 10
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("cached reuse miss rate = %v, want %v", got, want)
+	}
+}
+
+func TestSequentialReuseSpills(t *testing.T) {
+	g := quadro()
+	// 64 MiB working set (≫ 512 KiB L2), read 10 times: revisits miss too.
+	big := Access{Pattern: kpl.AccessSeq, Accesses: 10 * (1 << 24), Elems: 1 << 24, ElemSize: 4}
+	small := Access{Pattern: kpl.AccessSeq, Accesses: 10 * 16384, Elems: 16384, ElemSize: 4}
+	if MissRate(g, big) <= MissRate(g, small) {
+		t.Errorf("spilling working set should miss more: %v vs %v",
+			MissRate(g, big), MissRate(g, small))
+	}
+}
+
+func TestBroadcastNearZero(t *testing.T) {
+	g := quadro()
+	a := Access{Pattern: kpl.AccessBroadcast, Accesses: 1e6, Elems: 64, ElemSize: 4}
+	if r := MissRate(g, a); r > 1e-3 {
+		t.Errorf("broadcast miss rate = %v, want ≈0", r)
+	}
+}
+
+func TestStridedWorseThanSequential(t *testing.T) {
+	g := quadro()
+	seq := Access{Pattern: kpl.AccessSeq, Accesses: 1e5, Elems: 1e5, ElemSize: 4}
+	strided := Access{Pattern: kpl.AccessStrided, Accesses: 1e5, Elems: 1e5, ElemSize: 4, Stride: 64}
+	if MissRate(g, strided) <= MissRate(g, seq) {
+		t.Errorf("strided should miss more: %v vs %v", MissRate(g, strided), MissRate(g, seq))
+	}
+	// Stride of 64 × 4B = 256B ≥ 128B line: every access misses on first pass.
+	if r := MissRate(g, strided); r != 1 {
+		t.Errorf("large-stride first pass miss rate = %v, want 1", r)
+	}
+	// Stride defaults to 1 when unset.
+	unset := Access{Pattern: kpl.AccessStrided, Accesses: 1e5, Elems: 1e5, ElemSize: 4}
+	if r := MissRate(g, unset); r != 4.0/128.0 {
+		t.Errorf("stride-1 miss rate = %v", r)
+	}
+}
+
+func TestRandomDependsOnWorkingSet(t *testing.T) {
+	g := quadro()
+	smallWS := Access{Pattern: kpl.AccessRandom, Accesses: 1e5, Elems: 1024, ElemSize: 4}
+	hugeWS := Access{Pattern: kpl.AccessRandom, Accesses: 1e5, Elems: 1 << 26, ElemSize: 4}
+	if MissRate(g, smallWS) != 0 {
+		t.Errorf("random in tiny working set should hit: %v", MissRate(g, smallWS))
+	}
+	if MissRate(g, hugeWS) < 0.99 {
+		t.Errorf("random in huge working set should miss: %v", MissRate(g, hugeWS))
+	}
+}
+
+// The term-swap of Eq. 5 is only meaningful if the same access stream
+// behaves worse on the smaller target cache.
+func TestTargetCacheMissesMore(t *testing.T) {
+	a := Access{Pattern: kpl.AccessSeq, Accesses: 10 * (1 << 16), Elems: 1 << 16, ElemSize: 4}
+	// 256 KiB working set: fits in Quadro's 512 KiB, spills Tegra's 128 KiB.
+	if MissRate(tegra(), a) <= MissRate(quadro(), a) {
+		t.Errorf("Tegra should miss more: %v vs %v", MissRate(tegra(), a), MissRate(quadro(), a))
+	}
+}
+
+func TestAnalyzeAggregation(t *testing.T) {
+	g := quadro()
+	accesses := []Access{
+		{Pattern: kpl.AccessSeq, Accesses: 1000, Elems: 1000, ElemSize: 4},
+		{Pattern: kpl.AccessRandom, Accesses: 500, Elems: 1 << 26, ElemSize: 4},
+	}
+	r := Analyze(g, accesses, 8, 1)
+	if r.Accesses != 1500 {
+		t.Errorf("accesses = %v", r.Accesses)
+	}
+	wantMisses := Misses(g, accesses[0]) + Misses(g, accesses[1])
+	if r.Misses != wantMisses {
+		t.Errorf("misses = %v, want %v", r.Misses, wantMisses)
+	}
+	if r.StallCycles <= 0 {
+		t.Error("stall cycles should be positive")
+	}
+	// More resident warps hide more latency.
+	rMore := Analyze(g, accesses, 16, 1)
+	if rMore.StallCycles >= r.StallCycles {
+		t.Errorf("more warps should reduce stalls: %v vs %v", rMore.StallCycles, r.StallCycles)
+	}
+	// Overlap saturates at maxOverlapWarps.
+	rSat := Analyze(g, accesses, 64, 1)
+	if rSat.StallCycles != rMore.StallCycles {
+		t.Errorf("overlap should saturate: %v vs %v", rSat.StallCycles, rMore.StallCycles)
+	}
+	// Zero warps clamps to 1.
+	rZero := Analyze(g, accesses, 0, 1)
+	if rZero.StallCycles <= r.StallCycles {
+		t.Error("fewer warps should stall more")
+	}
+	// Misses spread across SMs stall the critical path less.
+	rSMs := Analyze(g, accesses, 8, 8)
+	if rSMs.StallCycles*8 != r.StallCycles {
+		t.Errorf("SM spreading wrong: %v vs %v", rSMs.StallCycles, r.StallCycles)
+	}
+	// Zero SMs clamps to 1.
+	if got := Analyze(g, accesses, 8, 0); got.StallCycles != r.StallCycles {
+		t.Error("activeSMs=0 should clamp to 1")
+	}
+}
+
+func TestWorkingSetBytes(t *testing.T) {
+	a := Access{Elems: 100, ElemSize: 8}
+	if a.WorkingSetBytes() != 800 {
+		t.Errorf("WorkingSetBytes = %v", a.WorkingSetBytes())
+	}
+}

@@ -1,0 +1,163 @@
+package coalesce
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/devmem"
+	"repro/internal/hostgpu"
+	"repro/internal/kernels"
+	"repro/internal/kpl"
+	"repro/internal/sched"
+)
+
+// Property: for any group size 2..6 and any per-VP input values, the merged
+// launch produces exactly the same per-VP results as running each member's
+// launch alone — the gather/merged-execute/scatter pipeline is semantically
+// transparent.
+func TestMergeTransparencyProperty(t *testing.T) {
+	bench, err := kernels.Get("vectorAdd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 257 // deliberately unaligned
+
+	makeJob := func(g *hostgpu.GPU, vpID int, seed uint8) (*sched.Job, devmem.Ptr) {
+		a := make([]float32, n)
+		bb := make([]float32, n)
+		for i := range a {
+			a[i] = float32(int(seed)+i) * 0.5
+			bb[i] = float32(i*int(vpID+1)) * 0.25
+		}
+		alloc := func(vals []float32) devmem.Ptr {
+			ptr, err := g.Mem.Alloc(4 * n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Mem.Write(ptr, 0, devmem.EncodeF32(vals)); err != nil {
+				t.Fatal(err)
+			}
+			return ptr
+		}
+		l := &hostgpu.Launch{
+			Kernel: bench.Kernel, Prog: bench.Prog,
+			Grid: 1, Block: 512,
+			Params:   map[string]kpl.Value{"n": kpl.IntVal(n)},
+			Bindings: map[string]devmem.Ptr{"a": alloc(a), "b": alloc(bb), "out": alloc(make([]float32, n))},
+			Native:   bench.Native,
+		}
+		j := sched.NewKernel(vpID, vpID, l)
+		j.Coalescable = true
+		return j, l.Bindings["out"]
+	}
+
+	f := func(count uint8, seeds [6]uint8) bool {
+		k := int(count)%5 + 2 // 2..6 members
+
+		// Reference: each member alone on its own device.
+		ref := make([][]float32, k)
+		for vp := 0; vp < k; vp++ {
+			g := hostgpu.New(arch.Quadro4000(), 1<<24)
+			j, out := makeJob(g, vp, seeds[vp])
+			if err := j.Run(g); err != nil {
+				return false
+			}
+			raw, err := g.Mem.Read(out, 0, 4*n)
+			if err != nil {
+				return false
+			}
+			ref[vp] = devmem.DecodeF32(raw)
+		}
+
+		// Merged: all members through one coalesced launch.
+		g := hostgpu.New(arch.Quadro4000(), 1<<26)
+		jobs := make([]*sched.Job, k)
+		outs := make([]devmem.Ptr, k)
+		for vp := 0; vp < k; vp++ {
+			jobs[vp], outs[vp] = makeJob(g, vp, seeds[vp])
+		}
+		if err := Merge(g, jobs).Run(g); err != nil {
+			return false
+		}
+		for vp := 0; vp < k; vp++ {
+			raw, err := g.Mem.Read(outs[vp], 0, 4*n)
+			if err != nil {
+				return false
+			}
+			got := devmem.DecodeF32(raw)
+			for i := range got {
+				if got[i] != ref[vp][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Apply never loses or duplicates work — the output batch's jobs
+// plus the members absorbed into merged jobs account for exactly the input.
+func TestApplyConservationProperty(t *testing.T) {
+	bench, err := kernels.Get("vectorAdd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(vpsRaw []uint8) bool {
+		if len(vpsRaw) == 0 {
+			return true
+		}
+		if len(vpsRaw) > 12 {
+			vpsRaw = vpsRaw[:12]
+		}
+		g := hostgpu.New(arch.Quadro4000(), 1<<26)
+		seen := map[int]bool{}
+		var batch []*sched.Job
+		for _, v := range vpsRaw {
+			vp := int(v % 6)
+			if seen[vp] {
+				continue
+			}
+			seen[vp] = true
+			bind := map[string]devmem.Ptr{}
+			for _, name := range []string{"a", "b", "out"} {
+				ptr, err := g.Mem.Alloc(4 * 64)
+				if err != nil {
+					return false
+				}
+				bind[name] = ptr
+			}
+			l := &hostgpu.Launch{
+				Kernel: bench.Kernel, Prog: bench.Prog,
+				Grid: 1, Block: 64,
+				Params:   map[string]kpl.Value{"n": kpl.IntVal(64)},
+				Bindings: bind,
+			}
+			j := sched.NewKernel(vp, vp, l)
+			j.Coalescable = true
+			batch = append(batch, j)
+		}
+		out := Apply(g, batch)
+		// Either nothing merged (identity) or all members collapsed into one
+		// merged job (all launches are identical here, and tiny grids are
+		// always beneficial to merge).
+		if len(batch) < 2 {
+			return len(out) == len(batch)
+		}
+		if len(out) == len(batch) {
+			for i := range out {
+				if out[i] != batch[i] {
+					return false
+				}
+			}
+			return true
+		}
+		return len(out) == 1 && out[0].VP == -1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

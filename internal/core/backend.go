@@ -1,0 +1,78 @@
+package core
+
+import (
+	"repro/internal/cudart"
+	"repro/internal/devmem"
+	"repro/internal/hostgpu"
+	"repro/internal/kernels"
+	"repro/internal/sched"
+	"repro/internal/vp"
+)
+
+// WrapApp returns an application that unregisters its VP from the batching
+// logic the moment it finishes. Without this, a VP that completes early
+// would count as "running but never stopped" and the remaining VPs' batches
+// would wait forever.
+func (s *Service) WrapApp(app vp.App) vp.App {
+	return func(v *vp.VP) error {
+		defer s.UnregisterVP(v.ID)
+		return app(v)
+	}
+}
+
+// Backend returns an in-process cudart back end for one VP: operations are
+// enqueued as jobs (asynchronously — the VP only stops when it waits),
+// giving the Re-scheduler whole per-VP bursts to interleave and coalesce.
+// The caller must RegisterVP/UnregisterVP around the VP's lifetime.
+func (s *Service) Backend(vp int) cudart.Backend {
+	return &serviceBackend{s: s, vp: vp}
+}
+
+type serviceBackend struct {
+	s  *Service
+	vp int
+}
+
+type jobToken struct {
+	s  *Service
+	vp int
+	j  *sched.Job
+}
+
+func (t jobToken) Wait() error                { return t.s.WaitJob(t.vp, t.j) }
+func (t jobToken) Interval() hostgpu.Interval { return t.j.Interval }
+func (t jobToken) Bytes() []byte              { return t.j.Data }
+
+func (b *serviceBackend) Malloc(n int) (devmem.Ptr, error) { return b.s.GPU.Mem.Alloc(n) }
+func (b *serviceBackend) Free(p devmem.Ptr) error          { return b.s.GPU.Mem.Free(p) }
+
+func (b *serviceBackend) H2D(stream int, dst devmem.Ptr, off int, data []byte) (cudart.Token, error) {
+	j := sched.NewH2D(b.vp, streamOf(b.vp, stream), dst, off, data)
+	b.s.Submit(j)
+	return jobToken{s: b.s, vp: b.vp, j: j}, nil
+}
+
+func (b *serviceBackend) D2H(stream int, src devmem.Ptr, off, n int) (cudart.Token, error) {
+	j := sched.NewD2H(b.vp, streamOf(b.vp, stream), src, off, n)
+	b.s.Submit(j)
+	return jobToken{s: b.s, vp: b.vp, j: j}, nil
+}
+
+func (b *serviceBackend) Memset(stream int, dst devmem.Ptr, off, n int, value byte) (cudart.Token, error) {
+	j := sched.NewMemset(b.vp, streamOf(b.vp, stream), dst, off, n, value)
+	b.s.Submit(j)
+	return jobToken{s: b.s, vp: b.vp, j: j}, nil
+}
+
+func (b *serviceBackend) Launch(stream int, l *hostgpu.Launch) (cudart.Token, error) {
+	j := sched.NewKernel(b.vp, streamOf(b.vp, stream), l)
+	// The Kernel Match stage needs the coalescability of the kernel, which
+	// the registry records per benchmark.
+	if bench, err := kernels.Get(l.Kernel.Name); err == nil {
+		j.Coalescable = bench.Coalescable
+	}
+	b.s.Submit(j)
+	return jobToken{s: b.s, vp: b.vp, j: j}, nil
+}
+
+func (b *serviceBackend) Close() error { return nil }

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/coalesce"
+	"repro/internal/cudart"
+	"repro/internal/devmem"
+	"repro/internal/hostgpu"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// MultiService multiplexes SEVERAL host GPUs among the VPs — the paper's
+// full premise ("ΣVP multiplexes the host GPUs"). VPs are partitioned across
+// devices by static assignment, the way the prototype's Job Dispatcher
+// "links the requests to the GPU driver library on the host machine": jobs
+// of one VP always run on the VP's device, so per-VP ordering needs no
+// cross-device synchronization, and each device runs its own Re-scheduler
+// pass (interleaving and coalescing happen among the VPs sharing a device).
+type MultiService struct {
+	services []*Service
+	byVP     map[int]*Service
+}
+
+// NewMultiService builds one service per host GPU descriptor.
+func NewMultiService(opts Options, gpus []arch.GPU) (*MultiService, error) {
+	if len(gpus) == 0 {
+		return nil, fmt.Errorf("core: multi-service with no GPUs")
+	}
+	m := &MultiService{byVP: map[int]*Service{}}
+	for _, g := range gpus {
+		o := opts
+		o.Arch = g
+		m.services = append(m.services, NewService(o))
+	}
+	return m, nil
+}
+
+// Device returns the service owning the given device index.
+func (m *MultiService) Device(i int) *Service { return m.services[i] }
+
+// Devices returns the number of host GPUs.
+func (m *MultiService) Devices() int { return len(m.services) }
+
+// serviceFor returns (assigning round-robin on first sight) the device
+// service of a VP.
+func (m *MultiService) serviceFor(vp int) *Service {
+	if s, ok := m.byVP[vp]; ok {
+		return s
+	}
+	s := m.services[len(m.byVP)%len(m.services)]
+	m.byVP[vp] = s
+	return s
+}
+
+// RegisterVP assigns the VP to a device and announces it there.
+func (m *MultiService) RegisterVP(id int) {
+	m.serviceFor(id).RegisterVP(id)
+}
+
+// UnregisterVP removes the VP from its device.
+func (m *MultiService) UnregisterVP(id int) {
+	if s, ok := m.byVP[id]; ok {
+		s.UnregisterVP(id)
+	}
+}
+
+// Backend returns the cudart back end bound to the VP's device.
+func (m *MultiService) Backend(vp int) *multiBackend {
+	return &multiBackend{s: m.serviceFor(vp), vp: vp}
+}
+
+// Flush drains every device.
+func (m *MultiService) Flush() {
+	for _, s := range m.services {
+		s.Flush()
+	}
+}
+
+// Sync returns the latest completion time across all devices — the
+// session's makespan.
+func (m *MultiService) Sync() float64 {
+	var t float64
+	for _, s := range m.services {
+		t = math.Max(t, s.Sync())
+	}
+	return t
+}
+
+// Traces returns the per-device engine timelines (nil entries when tracing
+// is off).
+func (m *MultiService) Traces() []*trace.Log {
+	out := make([]*trace.Log, len(m.services))
+	for i, s := range m.services {
+		out[i] = s.Trace()
+	}
+	return out
+}
+
+// multiBackend is the per-VP backend; it simply delegates to the assigned
+// device's in-process backend. Defined as a named type so callers can
+// inspect the assignment in tests.
+type multiBackend struct {
+	s  *Service
+	vp int
+}
+
+func (b *multiBackend) Service() *Service { return b.s }
+
+// The cudart.Backend methods delegate to the device service's backend.
+
+func (b *multiBackend) delegate() *serviceBackend {
+	return &serviceBackend{s: b.s, vp: b.vp}
+}
+
+func (b *multiBackend) Malloc(n int) (devmem.Ptr, error) { return b.delegate().Malloc(n) }
+func (b *multiBackend) Free(p devmem.Ptr) error          { return b.delegate().Free(p) }
+
+func (b *multiBackend) H2D(stream int, dst devmem.Ptr, off int, data []byte) (cudart.Token, error) {
+	return b.delegate().H2D(stream, dst, off, data)
+}
+
+func (b *multiBackend) D2H(stream int, src devmem.Ptr, off, n int) (cudart.Token, error) {
+	return b.delegate().D2H(stream, src, off, n)
+}
+
+func (b *multiBackend) Memset(stream int, dst devmem.Ptr, off, n int, value byte) (cudart.Token, error) {
+	return b.delegate().Memset(stream, dst, off, n, value)
+}
+
+func (b *multiBackend) Launch(stream int, l *hostgpu.Launch) (cudart.Token, error) {
+	return b.delegate().Launch(stream, l)
+}
+
+func (b *multiBackend) Close() error { return nil }
+
+// DispatchBatch runs one externally-assembled batch against a specific
+// device — the deterministic path the experiments use. Jobs must belong to
+// VPs assigned to that device.
+func (m *MultiService) DispatchBatch(device int, batch []*sched.Job) {
+	s := m.services[device]
+	if s.opts.Coalesce {
+		batch = coalesce.Apply(s.GPU, batch)
+	}
+	for _, j := range sched.Plan(batch, s.opts.Policy) {
+		err := j.Run(s.GPU)
+		if !j.Done() {
+			j.Finish(err)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/cudart"
+	"repro/internal/vp"
+)
+
+func TestMultiServiceRequiresGPUs(t *testing.T) {
+	if _, err := NewMultiService(DefaultOptions(), nil); err == nil {
+		t.Fatal("accepted empty GPU list")
+	}
+}
+
+func TestMultiServiceAssignsRoundRobin(t *testing.T) {
+	m, err := NewMultiService(DefaultOptions(), arch.HostGPUs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Devices() != 2 {
+		t.Fatalf("devices = %d", m.Devices())
+	}
+	b0 := m.Backend(0)
+	b1 := m.Backend(1)
+	b2 := m.Backend(2)
+	if b0.Service() == b1.Service() {
+		t.Error("VPs 0 and 1 should land on different devices")
+	}
+	if b0.Service() != b2.Service() {
+		t.Error("VP 2 should wrap around to the first device")
+	}
+	// Assignment is sticky.
+	if m.Backend(0).Service() != b0.Service() {
+		t.Error("assignment not sticky")
+	}
+}
+
+// TestMultiGPUFleet runs 4 VPs over two host GPUs end to end and verifies
+// both functional results and that the two-device makespan beats one device.
+func TestMultiGPUFleet(t *testing.T) {
+	run := func(gpus []arch.GPU) float64 {
+		m, err := NewMultiService(DefaultOptions(), gpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fleet := vp.NewFleet(4, arch.ARMVersatile(), func(id int) *cudart.Context {
+			m.RegisterVP(id)
+			return cudart.NewContext(id, m.Backend(id))
+		})
+		app := vecAddApp(1<<16, 1)
+		err = fleet.Run(func(v *vp.VP) error {
+			defer m.UnregisterVP(v.ID)
+			return app(v)
+		})
+		m.Flush()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Sync()
+	}
+	q := arch.Quadro4000()
+	one := run([]arch.GPU{q})
+	two := run([]arch.GPU{q, q})
+	if two >= one {
+		t.Fatalf("two devices (%.6f) should beat one (%.6f)", two, one)
+	}
+	t.Logf("1 GPU %.6fs, 2 GPUs %.6fs (%.2fx)", one, two, one/two)
+}
+
+func TestMultiServiceTraces(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Trace = true
+	m, err := NewMultiService(opts, arch.HostGPUs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := m.Traces()
+	if len(traces) != 2 || traces[0] == nil || traces[1] == nil {
+		t.Fatal("traces missing")
+	}
+	// Unregistering an unknown VP is a no-op.
+	m.UnregisterVP(99)
+}

@@ -1,0 +1,292 @@
+// Package core assembles the ΣVP host service (paper Fig. 2): the IPC
+// manager endpoint, the Job Queue, the Re-scheduler (Kernel Interleaving +
+// Kernel Match/Coalescing), the Job Dispatcher driving the host-GPU model,
+// and the VP Control logic that batches requests while VPs are stopped at
+// synchronous invocations.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/coalesce"
+	"repro/internal/devmem"
+	"repro/internal/hostgpu"
+	"repro/internal/ipc"
+	"repro/internal/kernels"
+	"repro/internal/kpl"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Options configure a service.
+type Options struct {
+	Arch     arch.GPU
+	MemBytes int64
+	Mode     hostgpu.ExecMode
+
+	// Policy selects FIFO (baseline) or interleaved dispatch.
+	Policy sched.Policy
+	// Coalesce enables the Kernel Match + merge pass.
+	Coalesce bool
+	// Trace records the engine timeline.
+	Trace bool
+	// EstimateTarget, when non-nil, attaches the Time/Power Estimation
+	// module: every kernel launch also yields the target GPU's predicted
+	// execution time and power (paper Fig. 2, Section 4).
+	EstimateTarget *arch.GPU
+
+	// ComputeSlots > 1 enables the device's Concurrent Kernel Execution —
+	// the hardware feature the paper contrasts its software re-scheduling
+	// against (Fig. 3a).
+	ComputeSlots int
+}
+
+// DefaultOptions returns a fully-optimized service on a Quadro 4000.
+func DefaultOptions() Options {
+	return Options{
+		Arch:     arch.Quadro4000(),
+		MemBytes: 1 << 30,
+		Mode:     hostgpu.ExecFull,
+		Policy:   sched.PolicyInterleave,
+		Coalesce: true,
+	}
+}
+
+// Service is the ΣVP host-side runtime.
+type Service struct {
+	GPU  *hostgpu.GPU
+	opts Options
+
+	// Estimator is the Time/Power Estimation module; nil unless
+	// Options.EstimateTarget is set.
+	Estimator *Estimation
+
+	queue *sched.Queue
+
+	mu      sync.Mutex
+	active  map[int]bool // registered VPs
+	blocked map[int]bool // VPs stopped at a synchronous point
+}
+
+// NewService builds a service over a fresh simulated host GPU.
+func NewService(opts Options) *Service {
+	if opts.MemBytes <= 0 {
+		opts.MemBytes = 1 << 30
+	}
+	g := hostgpu.New(opts.Arch, opts.MemBytes)
+	g.Mode = opts.Mode
+	g.InOrderIssue = true // the single hardware work queue of Fig. 3
+	// The unoptimized service dispatches conservatively: one job at a time,
+	// engines never overlapping (the 3N·T baseline). Kernel Interleaving
+	// pipelines the engines.
+	g.Serialize = opts.Policy == sched.PolicyFIFO
+	g.ComputeSlots = opts.ComputeSlots
+	if opts.Trace {
+		g.Trace = trace.New()
+	}
+	s := &Service{
+		GPU:     g,
+		opts:    opts,
+		queue:   sched.NewQueue(),
+		active:  map[int]bool{},
+		blocked: map[int]bool{},
+	}
+	if opts.EstimateTarget != nil {
+		s.Estimator = NewEstimation(*opts.EstimateTarget)
+	}
+	return s
+}
+
+// Options returns the service configuration.
+func (s *Service) Options() Options { return s.opts }
+
+// RegisterVP announces a VP to the batching logic.
+func (s *Service) RegisterVP(id int) {
+	s.mu.Lock()
+	s.active[id] = true
+	s.mu.Unlock()
+}
+
+// UnregisterVP removes a VP; pending work may dispatch as a result.
+func (s *Service) UnregisterVP(id int) {
+	s.mu.Lock()
+	delete(s.active, id)
+	delete(s.blocked, id)
+	s.mu.Unlock()
+	s.maybeDispatch()
+}
+
+// Submit enqueues a job without waiting.
+func (s *Service) Submit(j *sched.Job) {
+	s.queue.Push(j)
+	s.maybeDispatch()
+}
+
+// WaitJob blocks the calling VP until the job completes. While blocked, the
+// VP counts as *stopped* — exactly the VP Control mechanism: once every
+// active VP is stopped at a synchronous point, the accumulated batch is
+// re-scheduled and dispatched (paper Fig. 4b).
+func (s *Service) WaitJob(vp int, j *sched.Job) error {
+	s.mu.Lock()
+	s.blocked[vp] = true
+	s.mu.Unlock()
+	s.maybeDispatch()
+	err := j.Wait()
+	s.mu.Lock()
+	delete(s.blocked, vp)
+	s.mu.Unlock()
+	return err
+}
+
+// maybeDispatch drains and dispatches the queue when every active VP is
+// stopped (or none are registered) and work is pending.
+func (s *Service) maybeDispatch() {
+	for {
+		s.mu.Lock()
+		allStopped := true
+		for id := range s.active {
+			if !s.blocked[id] {
+				allStopped = false
+				break
+			}
+		}
+		if !allStopped || s.queue.Len() == 0 {
+			s.mu.Unlock()
+			return
+		}
+		batch := s.queue.DrainBatch()
+		s.mu.Unlock()
+		s.dispatch(batch)
+	}
+}
+
+// Flush dispatches everything pending regardless of VP states.
+func (s *Service) Flush() {
+	for {
+		batch := s.queue.DrainBatch()
+		if len(batch) == 0 {
+			return
+		}
+		s.dispatch(batch)
+	}
+}
+
+// dispatch runs one batch through the Re-scheduler and the device.
+func (s *Service) dispatch(batch []*sched.Job) {
+	if s.opts.Coalesce {
+		batch = coalesce.Apply(s.GPU, batch)
+	}
+	order := sched.Plan(batch, s.opts.Policy)
+	for _, j := range order {
+		err := j.Run(s.GPU)
+		if !j.Done() {
+			j.Finish(err)
+		}
+		if s.Estimator != nil {
+			s.Estimator.observe(s, j)
+		}
+	}
+}
+
+// Sync returns the simulated completion time of all dispatched work.
+func (s *Service) Sync() float64 { return s.GPU.Sync() }
+
+// SessionEnergy returns the host GPU's energy over the session (kernel
+// energies plus static power across the simulated span).
+func (s *Service) SessionEnergy() float64 { return s.GPU.SessionEnergy() }
+
+// Trace returns the engine timeline, if enabled.
+func (s *Service) Trace() *trace.Log { return s.GPU.Trace }
+
+// --- IPC endpoint ---
+
+// Handle implements ipc.Handler: it translates wire requests into jobs.
+// Kernel launches arrive by registry name — the service owns the kernel
+// binaries, giving guest applications binary compatibility across back ends.
+func (s *Service) Handle(vp int, req any) any {
+	switch r := req.(type) {
+	case ipc.MallocReq:
+		p, err := s.GPU.Mem.Alloc(r.Size)
+		if err != nil {
+			return ipc.ErrResp{Msg: err.Error()}
+		}
+		return ipc.MallocResp{Ptr: p}
+	case ipc.FreeReq:
+		if err := s.GPU.Mem.Free(r.Ptr); err != nil {
+			return ipc.ErrResp{Msg: err.Error()}
+		}
+		return ipc.OKResp{}
+	case ipc.H2DReq:
+		j := sched.NewH2D(vp, streamOf(vp, r.Stream), r.Dst, r.Off, r.Data)
+		s.Submit(j)
+		if err := s.WaitJob(vp, j); err != nil {
+			return ipc.ErrResp{Msg: err.Error()}
+		}
+		return ipc.OKResp{End: j.Interval.End}
+	case ipc.D2HReq:
+		j := sched.NewD2H(vp, streamOf(vp, r.Stream), r.Src, r.Off, r.N)
+		s.Submit(j)
+		if err := s.WaitJob(vp, j); err != nil {
+			return ipc.ErrResp{Msg: err.Error()}
+		}
+		return ipc.D2HResp{Data: j.Data, End: j.Interval.End}
+	case ipc.MemsetReq:
+		j := sched.NewMemset(vp, streamOf(vp, r.Stream), r.Dst, r.Off, r.N, r.Value)
+		s.Submit(j)
+		if err := s.WaitJob(vp, j); err != nil {
+			return ipc.ErrResp{Msg: err.Error()}
+		}
+		return ipc.OKResp{End: j.Interval.End}
+	case ipc.LaunchReq:
+		j, err := s.launchJob(vp, r)
+		if err != nil {
+			return ipc.ErrResp{Msg: err.Error()}
+		}
+		s.Submit(j)
+		if err := s.WaitJob(vp, j); err != nil {
+			return ipc.ErrResp{Msg: err.Error()}
+		}
+		return ipc.OKResp{End: j.Interval.End}
+	case ipc.SyncReq:
+		return ipc.OKResp{End: s.GPU.SyncStream(streamOf(vp, r.Stream))}
+	default:
+		return ipc.ErrResp{Msg: fmt.Sprintf("core: unknown request %T", req)}
+	}
+}
+
+// launchJob reconstructs a launch from a wire request via the kernel
+// registry.
+func (s *Service) launchJob(vp int, r ipc.LaunchReq) (*sched.Job, error) {
+	b, err := kernels.Get(r.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	params := r.Params
+	if params == nil {
+		params = map[string]kpl.Value{}
+	}
+	bindings := r.Bindings
+	if bindings == nil {
+		bindings = map[string]devmem.Ptr{}
+	}
+	l := &hostgpu.Launch{
+		Kernel:            b.Kernel,
+		Prog:              b.Prog,
+		Grid:              r.Grid,
+		Block:             r.Block,
+		SharedMemPerBlock: r.SharedMem,
+		RegsPerThread:     r.Regs,
+		Params:            params,
+		Bindings:          bindings,
+		Native:            b.Native,
+	}
+	j := sched.NewKernel(vp, streamOf(vp, r.Stream), l)
+	j.Coalescable = b.Coalescable
+	return j, nil
+}
+
+// streamOf maps (VP, guest stream) onto a device stream: each VP gets its
+// own stream space, the paper's "separate streams for each VP".
+func streamOf(vp, guestStream int) int { return vp*64 + guestStream }

@@ -1,0 +1,53 @@
+// Package cpumodel times CPU-side execution for the paper's baselines
+// (Table 1): plain scalar code compiled natively ("C"), device-emulated GPU
+// kernels ("CUDA Emul."), both on the physical host CPU and inside a QEMU
+// virtual platform whose dynamic binary translation multiplies every cycle.
+package cpumodel
+
+// Times are in seconds; instruction counts are canonical instructions.
+
+import "repro/internal/arch"
+
+// ScalarTime returns the time to run instr canonical instructions as
+// natively-compiled scalar code on the CPU, including the binary-translation
+// slowdown when the descriptor represents a VP guest.
+func ScalarTime(c *arch.CPU, instr float64) float64 {
+	if instr <= 0 {
+		return 0
+	}
+	return instr * c.ScalarCPI / c.ClockHz() * c.BTScalarSlowdown
+}
+
+// perThreadOverheadInstr models the thread-scheduling work device emulation
+// spends per simulated GPU thread (context switch, index setup).
+const perThreadOverheadInstr = 40
+
+// EmulTime returns the time to run a GPU kernel with canonical instruction
+// vector sigma across threads simulated threads through device emulation on
+// the CPU (nvcc -deviceemu style: the kernel is compiled for the CPU and
+// every GPU thread runs sequentially, with scheduling overhead per thread).
+// Per-class emulation costs make FP-heavy kernels disproportionally slow to
+// emulate, which is why they enjoy the largest ΣVP speedups (Section 5).
+func EmulTime(c *arch.CPU, sigma arch.ClassVec, threads int) float64 {
+	if sigma.Sum() <= 0 && threads <= 0 {
+		return 0
+	}
+	weights := c.EmulClassCPI
+	if weights.Sum() == 0 {
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	cycles := sigma.Dot(weights) * c.EmulCPI
+	cycles += perThreadOverheadInstr * float64(threads) * c.EmulCPI
+	return cycles / c.ClockHz() * c.BTEmulSlowdown
+}
+
+// MemcpyTime returns the time the CPU spends moving n bytes (the memcpy
+// portions of an emulated GPU program).
+func MemcpyTime(c *arch.CPU, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) / (c.MemBWGBps * 1e9) * c.BTScalarSlowdown
+}

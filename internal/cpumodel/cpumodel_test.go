@@ -1,0 +1,89 @@
+package cpumodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestScalarTime(t *testing.T) {
+	host := arch.HostXeon()
+	got := ScalarTime(&host, 2.9e9)
+	want := 2.9e9 * host.ScalarCPI / host.ClockHz()
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("ScalarTime = %v, want %v", got, want)
+	}
+	if ScalarTime(&host, 0) != 0 || ScalarTime(&host, -1) != 0 {
+		t.Error("non-positive instr should cost nothing")
+	}
+}
+
+func TestVPSlowdownApplies(t *testing.T) {
+	host := arch.HostXeon()
+	vp := arch.ARMVersatile()
+	instr := 1e9
+	var sigma arch.ClassVec
+	sigma[arch.FP64] = instr
+	if r := ScalarTime(&vp, instr) / ScalarTime(&host, instr); math.Abs(r-vp.BTScalarSlowdown) > 1e-9 {
+		t.Errorf("scalar BT slowdown = %v, want %v", r, vp.BTScalarSlowdown)
+	}
+	if r := EmulTime(&vp, sigma, 1000) / EmulTime(&host, sigma, 1000); math.Abs(r-vp.BTEmulSlowdown) > 1e-9 {
+		t.Errorf("emul BT slowdown = %v, want %v", r, vp.BTEmulSlowdown)
+	}
+	if r := MemcpyTime(&vp, 1<<20) / MemcpyTime(&host, 1<<20); math.Abs(r-vp.BTScalarSlowdown) > 1e-9 {
+		t.Errorf("memcpy BT slowdown = %v, want %v", r, vp.BTScalarSlowdown)
+	}
+}
+
+func TestEmulPerThreadOverhead(t *testing.T) {
+	host := arch.HostXeon()
+	var sigma arch.ClassVec
+	sigma[arch.Int] = 1e6
+	// Same instruction count, more threads → more time.
+	few := EmulTime(&host, sigma, 100)
+	many := EmulTime(&host, sigma, 100000)
+	if many <= few {
+		t.Errorf("thread overhead missing: %v vs %v", many, few)
+	}
+	if EmulTime(&host, arch.ClassVec{}, 0) != 0 {
+		t.Error("empty kernel should cost nothing")
+	}
+}
+
+func TestEmulCostsMoreThanScalar(t *testing.T) {
+	host := arch.HostXeon()
+	var sigma arch.ClassVec
+	sigma[arch.Int] = 1e9
+	if EmulTime(&host, sigma, 0) <= ScalarTime(&host, 1e9) {
+		t.Error("device emulation should cost more than scalar execution")
+	}
+}
+
+func TestFPEmulationCostsMore(t *testing.T) {
+	host := arch.HostXeon()
+	var fp, iv arch.ClassVec
+	fp[arch.FP64] = 1e8
+	iv[arch.Int] = 1e8
+	if EmulTime(&host, fp, 0) <= EmulTime(&host, iv, 0) {
+		t.Error("FP64 emulation should cost more than integer emulation")
+	}
+	// A CPU without per-class weights falls back to the scalar EmulCPI.
+	flat := host
+	flat.EmulClassCPI = arch.ClassVec{}
+	if EmulTime(&flat, fp, 0) != EmulTime(&flat, iv, 0) {
+		t.Error("flat CPI should ignore class mix")
+	}
+}
+
+func TestMemcpyTime(t *testing.T) {
+	host := arch.HostXeon()
+	if MemcpyTime(&host, 0) != 0 || MemcpyTime(&host, -1) != 0 {
+		t.Error("empty memcpy should cost nothing")
+	}
+	got := MemcpyTime(&host, 1<<30)
+	want := float64(1<<30) / (host.MemBWGBps * 1e9)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("MemcpyTime = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,331 @@
+// Package cudart is the GPU User Library of the ΣVP architecture (paper
+// Fig. 2): a CUDA-runtime-like API that guest applications program against.
+// The same application runs unchanged on either back end — GPU emulation on
+// the VP's CPU (the baseline) or the ΣVP host-GPU service — which is the
+// paper's binary-compatibility requirement: "the application binaries that
+// use GPU instructions do not need any change to run on the virtual GPUs."
+package cudart
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/devmem"
+	"repro/internal/emul"
+	"repro/internal/hostgpu"
+	"repro/internal/ipc"
+)
+
+// Token tracks an asynchronous operation.
+type Token interface {
+	// Wait blocks until the operation completes.
+	Wait() error
+	// Interval reports the operation's simulated time span.
+	Interval() hostgpu.Interval
+	// Bytes returns the payload of a device-to-host copy, nil otherwise.
+	Bytes() []byte
+}
+
+// Backend is a virtual GPU device implementation.
+type Backend interface {
+	Malloc(n int) (devmem.Ptr, error)
+	Free(p devmem.Ptr) error
+	H2D(stream int, dst devmem.Ptr, off int, data []byte) (Token, error)
+	D2H(stream int, src devmem.Ptr, off, n int) (Token, error)
+	Memset(stream int, dst devmem.Ptr, off, n int, value byte) (Token, error)
+	Launch(stream int, l *hostgpu.Launch) (Token, error)
+	Close() error
+}
+
+// ClockSink receives simulated-time synchronization points — the VP's local
+// clock in the loosely-timed co-simulation: after a synchronous GPU
+// operation completes at host time t, the guest cannot have progressed past
+// t.
+type ClockSink interface {
+	SyncTo(t float64)
+}
+
+// Context is a per-VP CUDA-like runtime context.
+type Context struct {
+	VP int
+
+	b  Backend
+	mu sync.Mutex
+	// outstanding async tokens per stream.
+	outstanding map[int][]Token
+	clock       ClockSink
+}
+
+// AttachClock registers the VP's local clock; every synchronous wait then
+// advances it to the operation's simulated completion time.
+func (c *Context) AttachClock(cs ClockSink) {
+	c.mu.Lock()
+	c.clock = cs
+	c.mu.Unlock()
+}
+
+// syncClock forwards a completion time to the attached clock.
+func (c *Context) syncClock(t float64) {
+	c.mu.Lock()
+	cs := c.clock
+	c.mu.Unlock()
+	if cs != nil && t > 0 {
+		cs.SyncTo(t)
+	}
+}
+
+// waitToken waits for one token and syncs the clock.
+func (c *Context) waitToken(t Token) error {
+	err := t.Wait()
+	c.syncClock(t.Interval().End)
+	return err
+}
+
+// NewContext wraps a back end.
+func NewContext(vp int, b Backend) *Context {
+	return &Context{VP: vp, b: b, outstanding: map[int][]Token{}}
+}
+
+// Malloc allocates device memory.
+func (c *Context) Malloc(n int) (devmem.Ptr, error) { return c.b.Malloc(n) }
+
+// Free releases device memory.
+func (c *Context) Free(p devmem.Ptr) error { return c.b.Free(p) }
+
+// MemcpyH2D synchronously copies host bytes to the device.
+func (c *Context) MemcpyH2D(dst devmem.Ptr, data []byte) error {
+	t, err := c.b.H2D(0, dst, 0, data)
+	if err != nil {
+		return err
+	}
+	return c.waitToken(t)
+}
+
+// MemcpyH2DAsync enqueues a host-to-device copy on a stream.
+func (c *Context) MemcpyH2DAsync(stream int, dst devmem.Ptr, data []byte) error {
+	t, err := c.b.H2D(stream, dst, 0, data)
+	if err != nil {
+		return err
+	}
+	c.record(stream, t)
+	return nil
+}
+
+// MemcpyD2H synchronously copies device bytes back to the host.
+func (c *Context) MemcpyD2H(src devmem.Ptr, n int) ([]byte, error) {
+	t, err := c.b.D2H(0, src, 0, n)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.waitToken(t); err != nil {
+		return nil, err
+	}
+	return t.Bytes(), nil
+}
+
+// MemcpyD2HAsync enqueues a device-to-host copy; the bytes are available
+// from the returned token after Wait.
+func (c *Context) MemcpyD2HAsync(stream int, src devmem.Ptr, n int) (Token, error) {
+	t, err := c.b.D2H(stream, src, 0, n)
+	if err != nil {
+		return nil, err
+	}
+	c.record(stream, t)
+	return t, nil
+}
+
+// Memset synchronously fills n bytes of device memory with value.
+func (c *Context) Memset(dst devmem.Ptr, n int, value byte) error {
+	t, err := c.b.Memset(0, dst, 0, n, value)
+	if err != nil {
+		return err
+	}
+	return c.waitToken(t)
+}
+
+// MemsetAsync enqueues a fill on a stream.
+func (c *Context) MemsetAsync(stream int, dst devmem.Ptr, n int, value byte) error {
+	t, err := c.b.Memset(stream, dst, 0, n, value)
+	if err != nil {
+		return err
+	}
+	c.record(stream, t)
+	return nil
+}
+
+// LaunchKernel synchronously invokes a kernel.
+func (c *Context) LaunchKernel(l *hostgpu.Launch) error {
+	t, err := c.b.Launch(0, l)
+	if err != nil {
+		return err
+	}
+	return c.waitToken(t)
+}
+
+// LaunchKernelAsync enqueues a kernel on a stream.
+func (c *Context) LaunchKernelAsync(stream int, l *hostgpu.Launch) error {
+	t, err := c.b.Launch(stream, l)
+	if err != nil {
+		return err
+	}
+	c.record(stream, t)
+	return nil
+}
+
+func (c *Context) record(stream int, t Token) {
+	c.mu.Lock()
+	c.outstanding[stream] = append(c.outstanding[stream], t)
+	c.mu.Unlock()
+}
+
+// StreamSynchronize waits for every outstanding operation on a stream.
+func (c *Context) StreamSynchronize(stream int) error {
+	c.mu.Lock()
+	toks := c.outstanding[stream]
+	delete(c.outstanding, stream)
+	c.mu.Unlock()
+	var first error
+	for _, t := range toks {
+		if err := c.waitToken(t); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// DeviceSynchronize waits for every outstanding operation on every stream.
+func (c *Context) DeviceSynchronize() error {
+	c.mu.Lock()
+	var all []Token
+	for s, toks := range c.outstanding {
+		all = append(all, toks...)
+		delete(c.outstanding, s)
+	}
+	c.mu.Unlock()
+	var first error
+	for _, t := range all {
+		if err := c.waitToken(t); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close releases the back end.
+func (c *Context) Close() error { return c.b.Close() }
+
+// doneToken is a pre-completed token for synchronous back ends.
+type doneToken struct {
+	iv   hostgpu.Interval
+	data []byte
+	err  error
+}
+
+func (t doneToken) Wait() error                { return t.err }
+func (t doneToken) Interval() hostgpu.Interval { return t.iv }
+func (t doneToken) Bytes() []byte              { return t.data }
+
+// --- Emulation back end (paper Fig. 1a) ---
+
+type emulBackend struct{ d *emul.Device }
+
+// NewEmulBackend runs GPU operations through the software emulator on the
+// VP's CPU — the baseline scenario.
+func NewEmulBackend(d *emul.Device) Backend { return &emulBackend{d: d} }
+
+func (e *emulBackend) Malloc(n int) (devmem.Ptr, error) { return e.d.Mem.Alloc(n) }
+func (e *emulBackend) Free(p devmem.Ptr) error          { return e.d.Mem.Free(p) }
+
+func (e *emulBackend) H2D(stream int, dst devmem.Ptr, off int, data []byte) (Token, error) {
+	iv, err := e.d.CopyH2D(dst, off, data)
+	return doneToken{iv: iv, err: err}, nil
+}
+
+func (e *emulBackend) D2H(stream int, src devmem.Ptr, off, n int) (Token, error) {
+	data, iv, err := e.d.CopyD2H(src, off, n)
+	return doneToken{iv: iv, data: data, err: err}, nil
+}
+
+func (e *emulBackend) Memset(stream int, dst devmem.Ptr, off, n int, value byte) (Token, error) {
+	iv, err := e.d.Memset(dst, off, n, value)
+	return doneToken{iv: iv, err: err}, nil
+}
+
+func (e *emulBackend) Launch(stream int, l *hostgpu.Launch) (Token, error) {
+	_, iv, err := e.d.Launch(l)
+	return doneToken{iv: iv, err: err}, nil
+}
+
+func (e *emulBackend) Close() error { return nil }
+
+// --- Remote (socket IPC) back end ---
+
+type remoteBackend struct{ c ipc.Client }
+
+// NewRemoteBackend talks to a ΣVP service over an ipc.Client (socket or
+// in-process pipe). Operations are synchronous RPCs; the service's VP
+// Control batches concurrently-stopped VPs for re-scheduling.
+func NewRemoteBackend(c ipc.Client) Backend { return &remoteBackend{c: c} }
+
+func (r *remoteBackend) Malloc(n int) (devmem.Ptr, error) {
+	resp, err := r.c.Call(ipc.MallocReq{Size: n})
+	if err != nil {
+		return 0, err
+	}
+	return resp.(ipc.MallocResp).Ptr, nil
+}
+
+func (r *remoteBackend) Free(p devmem.Ptr) error {
+	_, err := r.c.Call(ipc.FreeReq{Ptr: p})
+	return err
+}
+
+func (r *remoteBackend) H2D(stream int, dst devmem.Ptr, off int, data []byte) (Token, error) {
+	resp, err := r.c.Call(ipc.H2DReq{Stream: stream, Dst: dst, Off: off, Data: data})
+	if err != nil {
+		return doneToken{err: err}, nil
+	}
+	ok := resp.(ipc.OKResp)
+	return doneToken{iv: hostgpu.Interval{End: ok.End}}, nil
+}
+
+func (r *remoteBackend) D2H(stream int, src devmem.Ptr, off, n int) (Token, error) {
+	resp, err := r.c.Call(ipc.D2HReq{Stream: stream, Src: src, Off: off, N: n})
+	if err != nil {
+		return doneToken{err: err}, nil
+	}
+	d := resp.(ipc.D2HResp)
+	return doneToken{iv: hostgpu.Interval{End: d.End}, data: d.Data}, nil
+}
+
+func (r *remoteBackend) Memset(stream int, dst devmem.Ptr, off, n int, value byte) (Token, error) {
+	resp, err := r.c.Call(ipc.MemsetReq{Stream: stream, Dst: dst, Off: off, N: n, Value: value})
+	if err != nil {
+		return doneToken{err: err}, nil
+	}
+	ok := resp.(ipc.OKResp)
+	return doneToken{iv: hostgpu.Interval{End: ok.End}}, nil
+}
+
+func (r *remoteBackend) Launch(stream int, l *hostgpu.Launch) (Token, error) {
+	if l.Kernel == nil {
+		return nil, fmt.Errorf("cudart: launch without kernel")
+	}
+	resp, err := r.c.Call(ipc.LaunchReq{
+		Stream:    stream,
+		Kernel:    l.Kernel.Name,
+		Grid:      l.Grid,
+		Block:     l.Block,
+		SharedMem: l.SharedMemPerBlock,
+		Regs:      l.RegsPerThread,
+		Params:    l.Params,
+		Bindings:  l.Bindings,
+	})
+	if err != nil {
+		return doneToken{err: err}, nil
+	}
+	ok := resp.(ipc.OKResp)
+	return doneToken{iv: hostgpu.Interval{End: ok.End}}, nil
+}
+
+func (r *remoteBackend) Close() error { return r.c.Close() }

@@ -1,0 +1,76 @@
+package cudart
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Event is a CUDA-event-like marker: recorded on a stream, it captures the
+// simulated completion time of all work submitted to that stream so far.
+// Guest applications use pairs of events to time GPU phases without any
+// host-side clock — the idiom the CUDA SDK benchmarks use.
+type Event struct {
+	mu       sync.Mutex
+	recorded bool
+	when     float64
+}
+
+// NewEvent returns an unrecorded event.
+func NewEvent() *Event { return &Event{} }
+
+// Recorded reports whether the event has been recorded.
+func (e *Event) Recorded() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.recorded
+}
+
+// Time returns the simulated timestamp captured at record time.
+func (e *Event) Time() (float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.recorded {
+		return 0, fmt.Errorf("cudart: event not recorded")
+	}
+	return e.when, nil
+}
+
+// EventRecord waits for the stream's outstanding work and stamps the event
+// with its completion time.
+func (c *Context) EventRecord(ev *Event, stream int) error {
+	c.mu.Lock()
+	toks := append([]Token(nil), c.outstanding[stream]...)
+	c.mu.Unlock()
+	var last float64
+	var firstErr error
+	for _, t := range toks {
+		if err := t.Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if end := t.Interval().End; end > last {
+			last = end
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	ev.mu.Lock()
+	ev.recorded = true
+	ev.when = last
+	ev.mu.Unlock()
+	return nil
+}
+
+// EventElapsed returns the simulated seconds between two recorded events
+// (end − start), which may be negative if recorded out of order.
+func EventElapsed(start, end *Event) (float64, error) {
+	s, err := start.Time()
+	if err != nil {
+		return 0, err
+	}
+	e, err := end.Time()
+	if err != nil {
+		return 0, err
+	}
+	return e - s, nil
+}

@@ -1,0 +1,57 @@
+package cudart
+
+import (
+	"testing"
+)
+
+func TestEventLifecycle(t *testing.T) {
+	ev := NewEvent()
+	if ev.Recorded() {
+		t.Fatal("fresh event recorded")
+	}
+	if _, err := ev.Time(); err == nil {
+		t.Fatal("Time on unrecorded event should fail")
+	}
+	if _, err := EventElapsed(ev, ev); err == nil {
+		t.Fatal("EventElapsed on unrecorded events should fail")
+	}
+}
+
+func TestEventTimingAroundKernel(t *testing.T) {
+	ctx := newEmulCtx(t)
+	defer ctx.Close()
+	const n = 512
+	l, out := vecAddLaunch(t, ctx, n)
+
+	before := NewEvent()
+	if err := ctx.EventRecord(before, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.LaunchKernelAsync(3, l); err != nil {
+		t.Fatal(err)
+	}
+	tok, err := ctx.MemcpyD2HAsync(3, out, 4*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := NewEvent()
+	if err := ctx.EventRecord(after, 3); err != nil {
+		t.Fatal(err)
+	}
+	_ = tok
+	elapsed, err := EventElapsed(before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Fatalf("elapsed = %v, want > 0", elapsed)
+	}
+	// Recording on an idle stream is valid and captures the latest time.
+	again := NewEvent()
+	if err := ctx.EventRecord(again, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !again.Recorded() {
+		t.Fatal("event not recorded")
+	}
+}

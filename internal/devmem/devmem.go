@@ -1,0 +1,292 @@
+// Package devmem simulates GPU device memory: an allocator over a bounded
+// byte store, plus typed conversions between raw device bytes and the typed
+// buffers kernels operate on. Device pointers are opaque handles, as in the
+// CUDA runtime; the host service and the coalescer move raw bytes, so
+// Kernel Coalescing (paper Fig. 5) is literal byte-region merging.
+package devmem
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/kpl"
+)
+
+// Ptr is an opaque device pointer.
+type Ptr uint64
+
+// Mem is one device's memory. It is safe for concurrent use.
+type Mem struct {
+	mu       sync.Mutex
+	next     Ptr
+	allocs   map[Ptr][]byte
+	used     int64
+	capacity int64
+}
+
+// New returns a device memory of the given capacity in bytes.
+func New(capacity int64) *Mem {
+	return &Mem{next: 0x1000, allocs: map[Ptr][]byte{}, capacity: capacity}
+}
+
+// Alloc reserves n bytes and returns the device pointer.
+func (m *Mem) Alloc(n int) (Ptr, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("devmem: alloc of %d bytes", n)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.used+int64(n) > m.capacity {
+		return 0, fmt.Errorf("devmem: out of memory: %d requested, %d free", n, m.capacity-m.used)
+	}
+	p := m.next
+	// Keep allocations aligned and non-overlapping in the address space.
+	m.next += Ptr((n + 255) &^ 255)
+	m.allocs[p] = make([]byte, n)
+	m.used += int64(n)
+	return p, nil
+}
+
+// Free releases the allocation at p.
+func (m *Mem) Free(p Ptr) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.allocs[p]
+	if !ok {
+		return fmt.Errorf("devmem: free of invalid pointer %#x", uint64(p))
+	}
+	m.used -= int64(len(b))
+	delete(m.allocs, p)
+	return nil
+}
+
+// Size returns the byte length of the allocation at p.
+func (m *Mem) Size(p Ptr) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.allocs[p]
+	if !ok {
+		return 0, fmt.Errorf("devmem: size of invalid pointer %#x", uint64(p))
+	}
+	return len(b), nil
+}
+
+// Used returns the total allocated bytes.
+func (m *Mem) Used() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used
+}
+
+// Write copies data into the allocation at p starting at off (an H2D copy).
+func (m *Mem) Write(p Ptr, off int, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.allocs[p]
+	if !ok {
+		return fmt.Errorf("devmem: write to invalid pointer %#x", uint64(p))
+	}
+	if off < 0 || off+len(data) > len(b) {
+		return fmt.Errorf("devmem: write [%d,%d) outside allocation of %d bytes", off, off+len(data), len(b))
+	}
+	copy(b[off:], data)
+	return nil
+}
+
+// Read copies n bytes out of the allocation at p starting at off (a D2H
+// copy). The returned slice is a private copy.
+func (m *Mem) Read(p Ptr, off, n int) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.allocs[p]
+	if !ok {
+		return nil, fmt.Errorf("devmem: read from invalid pointer %#x", uint64(p))
+	}
+	if off < 0 || n < 0 || off+n > len(b) {
+		return nil, fmt.Errorf("devmem: read [%d,%d) outside allocation of %d bytes", off, off+n, len(b))
+	}
+	out := make([]byte, n)
+	copy(out, b[off:off+n])
+	return out, nil
+}
+
+// bind returns the raw backing slice (no copy) for kernel binding. Internal:
+// kernel execution happens under the host service's serialization.
+func (m *Mem) bind(p Ptr) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.allocs[p]
+	if !ok {
+		return nil, fmt.Errorf("devmem: bind of invalid pointer %#x", uint64(p))
+	}
+	return b, nil
+}
+
+// BindBuffer decodes the allocation at p as a typed kernel buffer.
+func (m *Mem) BindBuffer(p Ptr, t kpl.Type) (*kpl.Buffer, error) {
+	raw, err := m.bind(p)
+	if err != nil {
+		return nil, err
+	}
+	return BufferFromBytes(t, raw), nil
+}
+
+// BindBufferRange decodes n bytes at offset off of the allocation at p as a
+// typed kernel buffer (a sub-range view used by coalesced launches).
+func (m *Mem) BindBufferRange(p Ptr, off, n int, t kpl.Type) (*kpl.Buffer, error) {
+	raw, err := m.bind(p)
+	if err != nil {
+		return nil, err
+	}
+	if off < 0 || n < 0 || off+n > len(raw) {
+		return nil, fmt.Errorf("devmem: range [%d,%d) outside allocation of %d bytes", off, off+n, len(raw))
+	}
+	return BufferFromBytes(t, raw[off:off+n]), nil
+}
+
+// WriteBufferRange encodes buf into the allocation at p starting at off.
+func (m *Mem) WriteBufferRange(p Ptr, off int, buf *kpl.Buffer) error {
+	raw, err := m.bind(p)
+	if err != nil {
+		return err
+	}
+	need := buf.Bytes()
+	if off < 0 || off+need > len(raw) {
+		return fmt.Errorf("devmem: range write [%d,%d) outside allocation of %d bytes", off, off+need, len(raw))
+	}
+	BufferToBytes(buf, raw[off:off+need])
+	return nil
+}
+
+// WriteBuffer encodes buf back into the allocation at p.
+func (m *Mem) WriteBuffer(p Ptr, buf *kpl.Buffer) error {
+	raw, err := m.bind(p)
+	if err != nil {
+		return err
+	}
+	need := buf.Bytes()
+	if need > len(raw) {
+		return fmt.Errorf("devmem: buffer of %d bytes exceeds allocation of %d", need, len(raw))
+	}
+	BufferToBytes(buf, raw[:need])
+	return nil
+}
+
+// BufferFromBytes decodes little-endian device bytes into a typed buffer.
+// Trailing bytes that do not fill an element are ignored.
+func BufferFromBytes(t kpl.Type, raw []byte) *kpl.Buffer {
+	n := len(raw) / t.Size()
+	buf := kpl.NewBuffer(t, n)
+	switch t {
+	case kpl.F32:
+		for i := 0; i < n; i++ {
+			buf.F32s[i] = math.Float32frombits(le32(raw[4*i:]))
+		}
+	case kpl.F64:
+		for i := 0; i < n; i++ {
+			buf.F64s[i] = math.Float64frombits(le64(raw[8*i:]))
+		}
+	default:
+		for i := 0; i < n; i++ {
+			buf.I32s[i] = int32(le32(raw[4*i:]))
+		}
+	}
+	return buf
+}
+
+// BufferToBytes encodes a typed buffer into dst, which must hold at least
+// buf.Bytes() bytes.
+func BufferToBytes(buf *kpl.Buffer, dst []byte) {
+	switch buf.Elem {
+	case kpl.F32:
+		for i, v := range buf.F32s {
+			put32(dst[4*i:], math.Float32bits(v))
+		}
+	case kpl.F64:
+		for i, v := range buf.F64s {
+			put64(dst[8*i:], math.Float64bits(v))
+		}
+	default:
+		for i, v := range buf.I32s {
+			put32(dst[4*i:], uint32(v))
+		}
+	}
+}
+
+// EncodeF32 packs float32 values into device bytes.
+func EncodeF32(vs []float32) []byte {
+	out := make([]byte, 4*len(vs))
+	for i, v := range vs {
+		put32(out[4*i:], math.Float32bits(v))
+	}
+	return out
+}
+
+// EncodeF64 packs float64 values into device bytes.
+func EncodeF64(vs []float64) []byte {
+	out := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		put64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// EncodeI32 packs int32 values into device bytes.
+func EncodeI32(vs []int32) []byte {
+	out := make([]byte, 4*len(vs))
+	for i, v := range vs {
+		put32(out[4*i:], uint32(v))
+	}
+	return out
+}
+
+// DecodeF32 unpacks device bytes as float32 values.
+func DecodeF32(raw []byte) []float32 {
+	n := len(raw) / 4
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(le32(raw[4*i:]))
+	}
+	return out
+}
+
+// DecodeF64 unpacks device bytes as float64 values.
+func DecodeF64(raw []byte) []float64 {
+	n := len(raw) / 8
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(le64(raw[8*i:]))
+	}
+	return out
+}
+
+// DecodeI32 unpacks device bytes as int32 values.
+func DecodeI32(raw []byte) []int32 {
+	n := len(raw) / 4
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(le32(raw[4*i:]))
+	}
+	return out
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func le64(b []byte) uint64 {
+	return uint64(le32(b)) | uint64(le32(b[4:]))<<32
+}
+
+func put32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func put64(b []byte, v uint64) {
+	put32(b, uint32(v))
+	put32(b[4:], uint32(v>>32))
+}

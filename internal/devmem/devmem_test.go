@@ -1,0 +1,213 @@
+package devmem
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kpl"
+)
+
+func TestAllocFreeLifecycle(t *testing.T) {
+	m := New(1 << 20)
+	p, err := m.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := m.Size(p); err != nil || n != 100 {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+	if m.Used() != 100 {
+		t.Fatalf("Used = %d", m.Used())
+	}
+	if err := m.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if m.Used() != 0 {
+		t.Fatalf("Used after free = %d", m.Used())
+	}
+	if err := m.Free(p); err == nil {
+		t.Fatal("double free accepted")
+	}
+}
+
+func TestAllocErrors(t *testing.T) {
+	m := New(128)
+	if _, err := m.Alloc(0); err == nil {
+		t.Error("zero alloc accepted")
+	}
+	if _, err := m.Alloc(-5); err == nil {
+		t.Error("negative alloc accepted")
+	}
+	if _, err := m.Alloc(256); err == nil {
+		t.Error("over-capacity alloc accepted")
+	}
+	p, err := m.Alloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Alloc(1); err == nil {
+		t.Error("alloc beyond capacity accepted")
+	}
+	if err := m.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Alloc(128); err != nil {
+		t.Errorf("alloc after free failed: %v", err)
+	}
+}
+
+func TestDistinctPointers(t *testing.T) {
+	m := New(1 << 20)
+	seen := map[Ptr]bool{}
+	for i := 0; i < 100; i++ {
+		p, err := m.Alloc(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[p] {
+			t.Fatalf("pointer %#x reused", uint64(p))
+		}
+		seen[p] = true
+	}
+}
+
+func TestReadWriteBounds(t *testing.T) {
+	m := New(1 << 20)
+	p, _ := m.Alloc(16)
+	if err := m.Write(p, 0, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(p, 14, []byte{9, 9, 9}); err == nil {
+		t.Error("overflowing write accepted")
+	}
+	if err := m.Write(p, -1, []byte{1}); err == nil {
+		t.Error("negative offset write accepted")
+	}
+	got, err := m.Read(p, 0, 4)
+	if err != nil || !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Fatalf("Read = %v, %v", got, err)
+	}
+	if _, err := m.Read(p, 10, 10); err == nil {
+		t.Error("overflowing read accepted")
+	}
+	if _, err := m.Read(Ptr(0xdead), 0, 1); err == nil {
+		t.Error("read from invalid pointer accepted")
+	}
+	if err := m.Write(Ptr(0xdead), 0, []byte{1}); err == nil {
+		t.Error("write to invalid pointer accepted")
+	}
+	if _, err := m.Size(Ptr(0xdead)); err == nil {
+		t.Error("size of invalid pointer accepted")
+	}
+	// Read returns a private copy.
+	got[0] = 77
+	again, _ := m.Read(p, 0, 1)
+	if again[0] != 1 {
+		t.Error("Read aliases device memory")
+	}
+}
+
+func TestEncodeDecodeRoundTrips(t *testing.T) {
+	f32 := []float32{0, 1.5, -2.25, float32(math.Pi), math.MaxFloat32}
+	if got := DecodeF32(EncodeF32(f32)); len(got) != len(f32) {
+		t.Fatal("f32 length")
+	} else {
+		for i := range f32 {
+			if got[i] != f32[i] {
+				t.Errorf("f32[%d]: %v != %v", i, got[i], f32[i])
+			}
+		}
+	}
+	f64 := []float64{0, 1.5, -2.25, math.Pi, math.MaxFloat64, math.SmallestNonzeroFloat64}
+	for i, v := range DecodeF64(EncodeF64(f64)) {
+		if v != f64[i] {
+			t.Errorf("f64[%d]: %v != %v", i, v, f64[i])
+		}
+	}
+	i32 := []int32{0, 1, -1, math.MaxInt32, math.MinInt32}
+	for i, v := range DecodeI32(EncodeI32(i32)) {
+		if v != i32[i] {
+			t.Errorf("i32[%d]: %v != %v", i, v, i32[i])
+		}
+	}
+}
+
+// Property: Buffer↔bytes round-trips exactly for all three element types.
+func TestBufferBytesRoundTripProperty(t *testing.T) {
+	f := func(vals []float64, kind uint8) bool {
+		if len(vals) > 64 {
+			vals = vals[:64]
+		}
+		typ := kpl.Type(kind % 3)
+		buf := kpl.NewBuffer(typ, len(vals))
+		for i, v := range vals {
+			if math.IsNaN(v) {
+				v = 0
+			}
+			buf.Set(i, kpl.F64Val(v))
+		}
+		raw := make([]byte, buf.Bytes())
+		BufferToBytes(buf, raw)
+		back := BufferFromBytes(typ, raw)
+		if back.Len() != buf.Len() {
+			return false
+		}
+		for i := 0; i < buf.Len(); i++ {
+			a, b := buf.At(i), back.At(i)
+			if a.T == kpl.I32 {
+				if a.I != b.I {
+					return false
+				}
+			} else if a.F != b.F && !(math.IsNaN(a.F) && math.IsNaN(b.F)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBindBufferAndWriteBack(t *testing.T) {
+	m := New(1 << 20)
+	p, _ := m.Alloc(8 * 4)
+	if err := m.Write(p, 0, EncodeF32([]float32{1, 2, 3, 4, 5, 6, 7, 8})); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := m.BindBuffer(p, kpl.F32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 8 || buf.F32s[3] != 4 {
+		t.Fatalf("bound buffer wrong: %+v", buf.F32s)
+	}
+	buf.F32s[0] = 42
+	if err := m.WriteBuffer(p, buf); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := m.Read(p, 0, 4)
+	if DecodeF32(raw)[0] != 42 {
+		t.Fatal("WriteBuffer did not persist")
+	}
+	if _, err := m.BindBuffer(Ptr(0xbad), kpl.F32); err == nil {
+		t.Error("BindBuffer of invalid pointer accepted")
+	}
+	if err := m.WriteBuffer(Ptr(0xbad), buf); err == nil {
+		t.Error("WriteBuffer to invalid pointer accepted")
+	}
+	big := kpl.NewBuffer(kpl.F64, 100)
+	if err := m.WriteBuffer(p, big); err == nil {
+		t.Error("oversized WriteBuffer accepted")
+	}
+}
+
+func TestBufferFromBytesIgnoresTrailing(t *testing.T) {
+	raw := make([]byte, 10) // 2 f32 elements + 2 stray bytes
+	buf := BufferFromBytes(kpl.F32, raw)
+	if buf.Len() != 2 {
+		t.Fatalf("len = %d, want 2", buf.Len())
+	}
+}

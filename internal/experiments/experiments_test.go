@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// The tests below assert the *shape* of each reproduced table/figure — who
+// wins, by roughly what factor, where crossovers fall — not absolute
+// numbers (paper, Section 5 anchors quoted per test).
+
+// Table 1 anchors: 1 / 53.5 / 2193 / 3.32 / 48.1 / 1580.
+func TestTable1Shape(t *testing.T) {
+	r, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+
+	native := r.Row("GPU")
+	if native.Ratio != 1 {
+		t.Fatalf("native ratio = %v", native.Ratio)
+	}
+	emulCPU := r.Row("Emul. on CPU").Ratio
+	emulVP := r.Row("Emul. on VP").Ratio
+	sigmaVP := r.Row("This work").Ratio
+	cCPU := r.Row("CPU").Ratio
+	cVP := r.Row("VP").Ratio
+
+	if emulCPU < 30 || emulCPU > 100 {
+		t.Errorf("emul-on-CPU ratio %v outside [30,100] (paper 53.5)", emulCPU)
+	}
+	if emulVP < 1200 || emulVP > 4500 {
+		t.Errorf("emul-on-VP ratio %v outside [1200,4500] (paper 2193)", emulVP)
+	}
+	if sigmaVP < 1.5 || sigmaVP > 6 {
+		t.Errorf("ΣVP ratio %v outside [1.5,6] (paper 3.32)", sigmaVP)
+	}
+	if cCPU < 25 || cCPU > 90 {
+		t.Errorf("C-on-CPU ratio %v outside [25,90] (paper 48.1)", cCPU)
+	}
+	if cVP < 900 || cVP > 3200 {
+		t.Errorf("C-on-VP ratio %v outside [900,3200] (paper 1580)", cVP)
+	}
+
+	// Ordering relations the paper's table exhibits.
+	if !(sigmaVP < cCPU && cCPU < emulCPU && emulCPU < cVP && cVP < emulVP) {
+		t.Errorf("ordering violated: ΣVP %v < C-CPU %v < emul-CPU %v < C-VP %v < emul-VP %v",
+			sigmaVP, cCPU, emulCPU, cVP, emulVP)
+	}
+}
+
+// Fig. 9(a): speedup peaks where Tk ≈ Tm and decays on both sides; for
+// Tk ≥ Tm the measurement tracks Eq. 7.
+func TestFig9aShape(t *testing.T) {
+	r, err := Fig9a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+
+	var peak Fig9aPoint
+	for _, p := range r.Points {
+		if p.Speedup > peak.Speedup {
+			peak = p
+		}
+	}
+	if math.Abs(peak.KernelMS-r.MemcpyMS) > 0.4*r.MemcpyMS {
+		t.Errorf("peak at Tk=%.2f ms, want near Tm=%.2f ms", peak.KernelMS, r.MemcpyMS)
+	}
+	if peak.Speedup < 1.4 || peak.Speedup > 1.6 {
+		t.Errorf("peak speedup %.3f, want ≈1.5 (Eq. 8, N=2)", peak.Speedup)
+	}
+	for _, p := range r.Points {
+		if p.KernelMS >= r.MemcpyMS {
+			if math.Abs(p.Speedup-p.Expected) > 0.1*p.Expected {
+				t.Errorf("Tk=%.2f: measured %.3f vs Eq.7 %.3f", p.KernelMS, p.Speedup, p.Expected)
+			}
+		}
+		if p.Speedup < 1 {
+			t.Errorf("Tk=%.2f: interleaving slowed things down (%.3f)", p.KernelMS, p.Speedup)
+		}
+	}
+	// Decay on the right: the last point is well below the peak.
+	last := r.Points[len(r.Points)-1]
+	if last.Speedup > peak.Speedup-0.2 {
+		t.Errorf("no decay for long kernels: %.3f vs peak %.3f", last.Speedup, peak.Speedup)
+	}
+}
+
+// Fig. 9(b): speedup grows with N following 3N/(2+N), approaching 3.
+func TestFig9bShape(t *testing.T) {
+	r, err := Fig9b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+
+	prev := 0.0
+	for _, p := range r.Points {
+		if math.Abs(p.Speedup-p.Expected) > 0.05*p.Expected {
+			t.Errorf("N=%d: measured %.3f vs 3N/(2+N)=%.3f", p.N, p.Speedup, p.Expected)
+		}
+		if p.Speedup <= prev {
+			t.Errorf("N=%d: speedup not increasing", p.N)
+		}
+		prev = p.Speedup
+	}
+	last := r.Points[len(r.Points)-1]
+	if last.Speedup < 2.6 || last.Speedup > 3.0 {
+		t.Errorf("N=32 speedup %.3f, want approaching 3", last.Speedup)
+	}
+}
+
+// Fig. 10(a) anchors: ≈10.5× at N=16, ≈20.5× at N=64; time monotonically
+// decreasing until saturation.
+func TestFig10aShape(t *testing.T) {
+	r, err := Fig10a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+
+	if p := r.Point(1); math.Abs(p.Speedup-1) > 1e-9 {
+		t.Errorf("N=1 speedup %v, want 1", p.Speedup)
+	}
+	s16 := r.Point(16).Speedup
+	if s16 < 7 || s16 > 18 {
+		t.Errorf("N=16 speedup %.2f outside [7,18] (paper 10.5)", s16)
+	}
+	s64 := r.Point(64).Speedup
+	if s64 < 14 || s64 > 30 {
+		t.Errorf("N=64 speedup %.2f outside [14,30] (paper 20.5)", s64)
+	}
+	// Monotone up to the saturation knee.
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].N <= 16 && r.Points[i].Speedup <= r.Points[i-1].Speedup {
+			t.Errorf("speedup not increasing at N=%d", r.Points[i].N)
+		}
+	}
+}
+
+// Fig. 10(b): the staircase — grids of 9 and 16 blocks take the same time on
+// the 8-SM device; 8 is faster; 17 is slower; Eq. 9 tracks the measurement.
+func TestFig10bShape(t *testing.T) {
+	r, err := Fig10b()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t9, t16, t17, t8 := r.Point(9).TimeMS, r.Point(16).TimeMS, r.Point(17).TimeMS, r.Point(8).TimeMS
+	if t9 != t16 {
+		t.Errorf("grid 9 (%.3f) and 16 (%.3f) should take the same time", t9, t16)
+	}
+	if !(t8 < t9) {
+		t.Errorf("grid 8 (%.3f) should beat grid 9 (%.3f)", t8, t9)
+	}
+	if !(t17 > t16) {
+		t.Errorf("grid 17 (%.3f) should exceed grid 16 (%.3f)", t17, t16)
+	}
+	// Time is non-decreasing in grid size and Eq. 9 stays within 15%.
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].TimeMS < r.Points[i-1].TimeMS-1e-9 {
+			t.Errorf("time decreased at grid %d", r.Points[i].Grid)
+		}
+	}
+	for _, p := range r.Points {
+		if math.Abs(p.TimeMS-p.ExpectedMS) > 0.15*p.ExpectedMS {
+			t.Errorf("grid %d: %.3f ms vs Eq.9 %.3f ms", p.Grid, p.TimeMS, p.ExpectedMS)
+		}
+	}
+}
+
+// Fig. 11 anchors: plain speedups 622–2045, optimized 1098–6304 for the
+// paper's application set; the optimizations never hurt; the paper's
+// "unimproved" set gains little; mergeSort sits at the bottom of the paper
+// set.
+func TestFig11Shape(t *testing.T) {
+	r, err := Fig11(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+
+	paperApps := []string{
+		"simpleGL", "Mandelbrot", "bicubicTexture", "recursiveGaussian",
+		"MonteCarlo", "segmentationTreeThrust", "marchingCubes",
+		"VolumeFiltering", "SobelFilter", "nbody", "smokeParticles",
+		"convolutionSeparable", "dct8x8", "mergeSort", "stereoDisparity",
+		"BlackScholes", "matrixMul",
+	}
+	unimproved := map[string]bool{
+		"convolutionSeparable": true, "dct8x8": true, "SobelFilter": true,
+		"MonteCarlo": true, "nbody": true, "smokeParticles": true,
+	}
+
+	for _, row := range r.Rows {
+		if row.SpeedupPlain < 1 {
+			t.Errorf("%s: multiplexing slower than emulation (%.0f×)", row.App, row.SpeedupPlain)
+		}
+		if row.SpeedupOpt < row.SpeedupPlain*0.98 {
+			t.Errorf("%s: optimizations hurt (%.0f → %.0f)", row.App, row.SpeedupPlain, row.SpeedupOpt)
+		}
+	}
+	for _, app := range paperApps {
+		row := r.Row(app)
+		if row.App == "" {
+			t.Fatalf("missing app %s", app)
+		}
+		// Three-decade speedups, as in the paper's 622–6304 range.
+		if row.SpeedupPlain < 100 || row.SpeedupPlain > 8000 {
+			t.Errorf("%s: plain speedup %.0f outside [100,8000]", app, row.SpeedupPlain)
+		}
+		gain := row.SpeedupOpt / row.SpeedupPlain
+		if unimproved[app] {
+			if gain > 2.2 {
+				t.Errorf("%s: paper lists it as not improved, but gain %.2f×", app, gain)
+			}
+		}
+		if gain > 12 {
+			t.Errorf("%s: optimization gain %.2f× exceeds the paper's ≈10× best case", app, gain)
+		}
+	}
+	// mergeSort has the lowest plain speedup of the paper set (622×).
+	ms := r.Row("mergeSort").SpeedupPlain
+	for _, app := range paperApps {
+		if app == "mergeSort" {
+			continue
+		}
+		if s := r.Row(app).SpeedupPlain; s < ms*0.8 {
+			t.Errorf("%s plain speedup %.0f well below mergeSort's %.0f", app, s, ms)
+		}
+	}
+}
+
+// Fig. 12: H ≪ 1, C″ within 30% of the measured target on both hosts, and
+// the ladder refines: |C″−1| ≤ |C′−1| + slack for every kernel.
+func TestFig12Shape(t *testing.T) {
+	r, err := Fig12(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows = %d, want 4 kernels × 2 hosts", len(r.Rows))
+	}
+	var sumErrC, sumErrC1, sumErrC2 float64
+	for _, row := range r.Rows {
+		if row.HostTime >= 1 {
+			t.Errorf("%s/%s: host time %.3f should be ≪ 1", row.Kernel, row.Host, row.HostTime)
+		}
+		if math.Abs(row.C2-1) > 0.30 {
+			t.Errorf("%s/%s: C″ = %.3f outside ±30%%", row.Kernel, row.Host, row.C2)
+		}
+		sumErrC += math.Abs(row.C - 1)
+		sumErrC1 += math.Abs(row.C1 - 1)
+		sumErrC2 += math.Abs(row.C2 - 1)
+	}
+	// The ladder refines on average: C″ best, C worst (individual rows may
+	// land lucky, as in the paper).
+	n := float64(len(r.Rows))
+	if sumErrC2/n > sumErrC1/n {
+		t.Errorf("mean C″ error %.3f should beat C′ %.3f", sumErrC2/n, sumErrC1/n)
+	}
+	if sumErrC1/n > sumErrC/n {
+		t.Errorf("mean C′ error %.3f should beat C %.3f", sumErrC1/n, sumErrC/n)
+	}
+}
+
+// Fig. 13: the power estimate is within ≈20% of the measurement (paper:
+// about 10%).
+func TestFig13Shape(t *testing.T) {
+	r, err := Fig13(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+
+	for _, row := range r.Rows {
+		if math.Abs(row.RelativeErr) > 0.20 {
+			t.Errorf("%s/%s: power error %.1f%% exceeds 20%%", row.Kernel, row.Host, 100*row.RelativeErr)
+		}
+	}
+}
+
+func TestIPCCost(t *testing.T) {
+	c := DefaultIPC()
+	zero := c.Transfer(0)
+	if zero != c.LatencySec {
+		t.Errorf("zero-byte transfer = %v", zero)
+	}
+	mb := c.Transfer(1 << 20)
+	if mb <= zero {
+		t.Error("payload should cost more")
+	}
+}
+
+func TestBusyKernelValidates(t *testing.T) {
+	k, err := busyKernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name != "busywork" {
+		t.Error("unexpected kernel")
+	}
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/cpumodel"
+	"repro/internal/hostgpu"
+	"repro/internal/kernels"
+	"repro/internal/kir"
+	"repro/internal/sched"
+)
+
+// Fig11Row is the result for one benchmark application.
+type Fig11Row struct {
+	App string
+
+	// EmulSec is the execution time of GPU emulation on the VPs (the blue
+	// bar: eight VPs run concurrently on the many-core host, so this is the
+	// per-VP emulated application time).
+	EmulSec float64
+
+	// PlainSec / OptSec are the ΣVP times without and with the two
+	// optimizations.
+	PlainSec float64
+	OptSec   float64
+
+	// SpeedupPlain / SpeedupOpt are the red and green series of Fig. 11.
+	SpeedupPlain float64
+	SpeedupOpt   float64
+}
+
+// Fig11Result reproduces Fig. 11: eight VPs concurrently execute each CUDA
+// SDK application under three scenarios — GPU emulation on the VP, plain
+// ΣVP multiplexing, and ΣVP with Kernel Interleaving + Kernel Coalescing.
+// Paper anchors: plain speedups 622× (mergeSort) … 2045× (BlackScholes);
+// optimized 1098× (SobelFilter) … 6304× (BlackScholes); GL/file-bound apps
+// capped by their non-CUDA portions.
+type Fig11Result struct {
+	VPs   int
+	Scale int
+	Rows  []Fig11Row
+}
+
+// Fig11 runs the study at the given workload scale (the paper-equivalent
+// regime is scale ≈ 32; smaller scales keep the same shape).
+func Fig11(scale int) (*Fig11Result, error) {
+	const nVPs = 8
+	if scale < 1 {
+		scale = 1
+	}
+	res := &Fig11Result{VPs: nVPs, Scale: scale}
+	guest := arch.ARMVersatile()
+	ipc := DefaultIPC()
+
+	for _, bench := range kernels.All() {
+		w := bench.MakeWorkload(scale)
+
+		// --- Scenario 1: GPU emulation on the VP. Multi-VP QEMU simulations
+		// execute the VP instances through one simulation loop (netShip-style
+		// co-simulation), so completing all eight emulated VPs costs eight
+		// times one VP's emulated application time. ---
+		kl := kir.Launch{NThreads: w.Threads(), Params: w.Params}
+		sigma, err := staticOrSampledSigma(bench, w, kl)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", bench.Name, err)
+		}
+		inBytes, outBytes := 0, 0
+		for _, d := range w.Inputs {
+			inBytes += len(d)
+		}
+		for _, name := range w.OutBufs {
+			outBytes += w.BufBytes[name]
+		}
+		perIterEmul := cpumodel.EmulTime(&guest, sigma, w.Threads())
+		memcpySec := cpumodel.MemcpyTime(&guest, inBytes+outBytes)
+		if bench.CopyEachIteration {
+			perIterEmul += memcpySec
+			memcpySec = 0
+		}
+		emulSec := float64(nVPs) * (float64(bench.Iterations)*(perIterEmul+bench.NonCUDAVPSeconds) + memcpySec)
+		res.Rows = append(res.Rows, Fig11Row{App: bench.Name, EmulSec: emulSec})
+		row := &res.Rows[len(res.Rows)-1]
+
+		// --- Scenarios 2–3: ΣVP without and with the optimizations. ---
+		for _, optimized := range []bool{false, true} {
+			sec, err := runSigmaVP(bench, w, nVPs, optimized, ipc)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", bench.Name, err)
+			}
+			// The non-CUDA portions (OpenGL through Mesa, file I/O) run on
+			// the VP in every scenario and are not accelerated.
+			sec += float64(bench.Iterations) * bench.NonCUDAVPSeconds
+			if optimized {
+				row.OptSec = sec
+			} else {
+				row.PlainSec = sec
+			}
+		}
+		row.SpeedupPlain = row.EmulSec / row.PlainSec
+		row.SpeedupOpt = row.EmulSec / row.OptSec
+	}
+	return res, nil
+}
+
+// staticOrSampledSigma derives the canonical σ of one launch, interpreting a
+// thread sample for data-dependent kernels.
+func staticOrSampledSigma(bench *kernels.Benchmark, w *kernels.Workload, kl kir.Launch) (arch.ClassVec, error) {
+	if !bench.Prog.NeedsDynamicProfile() {
+		return bench.Prog.RawSigma(kl, nil)
+	}
+	// Materialize the inputs once and sample.
+	env, err := buildWorkloadEnv(bench, w)
+	if err != nil {
+		return arch.ClassVec{}, err
+	}
+	dyn, err := bench.Kernel.SampleStats(env, 32)
+	if err != nil {
+		return arch.ClassVec{}, err
+	}
+	return bench.Prog.RawSigma(kl, dyn)
+}
+
+// runSigmaVP measures the GPU-side makespan of nVPs VPs each running the
+// benchmark's application loop through the ΣVP service, plus the IPC costs.
+func runSigmaVP(bench *kernels.Benchmark, w *kernels.Workload, nVPs int, optimized bool, ipc IPCCost) (float64, error) {
+	g := hostgpu.New(arch.Quadro4000(), 1<<32)
+	g.Mode = hostgpu.ExecTimingOnly
+	g.Serialize = !optimized
+	policy := sched.PolicyFIFO
+	if optimized {
+		policy = sched.PolicyInterleave
+	}
+
+	provs := make([]*provisioned, nVPs)
+	for vpID := 0; vpID < nVPs; vpID++ {
+		p, err := provision(g, bench, w)
+		if err != nil {
+			return 0, err
+		}
+		provs[vpID] = p
+	}
+	// Resolve λ once per launch (data-dependent kernels sample against the
+	// provisioned inputs) so per-iteration launches are cheap.
+	for _, p := range provs {
+		if bench.Prog.NeedsDynamicProfile() {
+			env, err := buildWorkloadEnv(bench, w)
+			if err != nil {
+				return 0, err
+			}
+			st, err := bench.Kernel.SampleStats(env, 32)
+			if err != nil {
+				return 0, err
+			}
+			p.launch.Dyn = st
+		}
+	}
+
+	totalJobs := 0
+	for it := 0; it < bench.Iterations; it++ {
+		copyIn := bench.CopyEachIteration || it == 0
+		copyOut := bench.CopyEachIteration || it == bench.Iterations-1
+		var batch []*sched.Job
+		for vpID, p := range provs {
+			batch = append(batch, p.phaseJobs(vpID, copyIn, copyOut)...)
+		}
+		totalJobs += len(batch)
+		if err := dispatch(g, batch, policy, optimized); err != nil {
+			return 0, err
+		}
+	}
+	gpuSec := g.Sync()
+	if !optimized {
+		// Without the optimizations the dispatcher serves synchronous
+		// requests one at a time: the device idles for a request round-trip
+		// between consecutive jobs. VP Control's batching (stop all VPs,
+		// re-schedule, dispatch) eliminates these gaps.
+		gpuSec += float64(totalJobs) * ipc.LatencySec
+	}
+
+	// IPC cost: every VP pays request latency + marshaling for its own
+	// traffic; the eight VPs marshal concurrently (separate guest cores), so
+	// the scenario cost is one VP's. Copy-once applications only marshal
+	// their buffers at the start and end of the run.
+	ipcSec := float64(bench.Iterations) * ipc.LatencySec // launch requests
+	if bench.CopyEachIteration {
+		ipcSec += float64(bench.Iterations) * (float64(provs[0].opsPerIteration()-1)*ipc.LatencySec +
+			ipc.Transfer(provs[0].iterationBytes()))
+	} else {
+		ipcSec += float64(provs[0].opsPerIteration()-1)*ipc.LatencySec + ipc.Transfer(provs[0].iterationBytes())
+	}
+	return gpuSec + ipcSec, nil
+}
+
+// Row returns the row for one application.
+func (r *Fig11Result) Row(app string) Fig11Row {
+	for _, row := range r.Rows {
+		if row.App == app {
+			return row
+		}
+	}
+	return Fig11Row{}
+}
+
+func (r *Fig11Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 11: GPU emulation on %d VPs vs ΣVP (scale %d)\n", r.VPs, r.Scale)
+	fmt.Fprintf(&b, "%-24s %12s %12s %12s\n", "application", "emul (s)", "speedup", "speedup+opt")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-24s %12.2f %12.0f %12.0f\n", row.App, row.EmulSec, row.SpeedupPlain, row.SpeedupOpt)
+	}
+	return b.String()
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/hostgpu"
+	"repro/internal/kernels"
+	"repro/internal/sched"
+)
+
+// ScalingPoint is one VP count in the scaling study.
+type ScalingPoint struct {
+	VPs int
+
+	EmulSec  float64 // serialized multi-VP emulation
+	PlainSec float64 // ΣVP, unoptimized dispatcher
+	OptSec   float64 // ΣVP + interleaving + coalescing
+
+	SpeedupPlain float64
+	SpeedupOpt   float64
+}
+
+// ScalingResult is an extension of the paper's evaluation: how the three
+// scenarios scale with the number of simulated VPs (2..32) for one
+// application. The paper's premise — "simulation with multiple instances of
+// virtual platforms enables many important design decisions" — makes this
+// the capacity-planning curve a user of ΣVP needs.
+type ScalingResult struct {
+	App    string
+	Points []ScalingPoint
+}
+
+// Scaling runs the study for one benchmark at the given workload scale.
+func Scaling(app string, scale int) (*ScalingResult, error) {
+	bench, err := kernels.Get(app)
+	if err != nil {
+		return nil, err
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	res := &ScalingResult{App: app}
+	ipc := DefaultIPC()
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		emulSec, err := emulScenario(bench, scale, n)
+		if err != nil {
+			return nil, err
+		}
+		plain, err := runSigmaVPN(bench, scale, n, false, ipc)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := runSigmaVPN(bench, scale, n, true, ipc)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, ScalingPoint{
+			VPs:          n,
+			EmulSec:      emulSec,
+			PlainSec:     plain,
+			OptSec:       opt,
+			SpeedupPlain: emulSec / plain,
+			SpeedupOpt:   emulSec / opt,
+		})
+	}
+	return res, nil
+}
+
+// emulScenario prices the serialized multi-VP emulation of n VPs.
+func emulScenario(bench *kernels.Benchmark, scale, n int) (float64, error) {
+	guest := arch.ARMVersatile()
+	w := bench.MakeWorkload(scale)
+	one, err := emulAppSeconds(&guest, bench, w)
+	if err != nil {
+		return 0, err
+	}
+	return float64(n) * one, nil
+}
+
+// runSigmaVPN is runSigmaVP with a configurable VP count.
+func runSigmaVPN(bench *kernels.Benchmark, scale, nVPs int, optimized bool, ipc IPCCost) (float64, error) {
+	w := bench.MakeWorkload(scale)
+	g := hostgpu.New(arch.Quadro4000(), 1<<33)
+	g.Mode = hostgpu.ExecTimingOnly
+	g.Serialize = !optimized
+	policy := sched.PolicyFIFO
+	if optimized {
+		policy = sched.PolicyInterleave
+	}
+	provs := make([]*provisioned, nVPs)
+	for vpID := 0; vpID < nVPs; vpID++ {
+		p, err := provision(g, bench, w)
+		if err != nil {
+			return 0, err
+		}
+		if bench.Prog.NeedsDynamicProfile() {
+			env, err := buildWorkloadEnv(bench, w)
+			if err != nil {
+				return 0, err
+			}
+			st, err := bench.Kernel.SampleStats(env, 32)
+			if err != nil {
+				return 0, err
+			}
+			p.launch.Dyn = st
+		}
+		provs[vpID] = p
+	}
+	totalJobs := 0
+	for it := 0; it < bench.Iterations; it++ {
+		copyIn := bench.CopyEachIteration || it == 0
+		copyOut := bench.CopyEachIteration || it == bench.Iterations-1
+		var batch []*sched.Job
+		for vpID, p := range provs {
+			batch = append(batch, p.phaseJobs(vpID, copyIn, copyOut)...)
+		}
+		totalJobs += len(batch)
+		if err := dispatch(g, batch, policy, optimized); err != nil {
+			return 0, err
+		}
+	}
+	sec := g.Sync()
+	if !optimized {
+		sec += float64(totalJobs) * ipc.LatencySec
+	}
+	sec += float64(bench.Iterations)*ipc.LatencySec + ipc.Transfer(provs[0].iterationBytes())
+	return sec, nil
+}
+
+// emulAppSeconds prices one VP's emulated application run.
+func emulAppSeconds(guest *arch.CPU, bench *kernels.Benchmark, w *kernels.Workload) (float64, error) {
+	kl := launchOf(w)
+	sigma, err := staticOrSampledSigma(bench, w, kl)
+	if err != nil {
+		return 0, err
+	}
+	perIter := emulKernelSeconds(guest, sigma, w.Threads())
+	memcpySec := emulMemcpySeconds(guest, w)
+	if bench.CopyEachIteration {
+		perIter += memcpySec
+		memcpySec = 0
+	}
+	return float64(bench.Iterations)*(perIter+bench.NonCUDAVPSeconds) + memcpySec, nil
+}
+
+func (r *ScalingResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scaling study: %s under the three scenarios vs VP count\n", r.App)
+	fmt.Fprintf(&b, "%6s %14s %14s %14s %10s %10s\n", "VPs", "emul (s)", "ΣVP (s)", "ΣVP+opt (s)", "speedup", "spdup+opt")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%6d %14.3f %14.4f %14.4f %10.0f %10.0f\n",
+			p.VPs, p.EmulSec, p.PlainSec, p.OptSec, p.SpeedupPlain, p.SpeedupOpt)
+	}
+	return b.String()
+}

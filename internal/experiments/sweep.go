@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/estimate"
+	"repro/internal/kernels"
+)
+
+// SweepRow is one kernel's estimation accuracy in the extended sweep.
+type SweepRow struct {
+	Kernel              string
+	Host                string
+	C, C1, C2, PowerErr float64 // normalized times and relative power error
+}
+
+// SweepResult extends the paper's Fig. 12/13 study from 4 kernels to the
+// whole benchmark suite — a robustness check the paper leaves as future
+// work ("the same method can be extended"). Rows are normalized by the
+// measured target time/power.
+type SweepResult struct {
+	Rows []SweepRow
+
+	MeanAbsC, MeanAbsC1, MeanAbsC2 float64 // mean |estimate − 1|
+	WorstC2                        float64
+	MeanAbsPowerErr                float64
+}
+
+// EstimationSweep runs the ladder for every benchmark on both host GPUs.
+func EstimationSweep(scale int) (*SweepResult, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	tegra := arch.TegraK1()
+	res := &SweepResult{}
+	n := 0.0
+	for _, bench := range kernels.All() {
+		name := bench.Name
+		w := bench.MakeWorkload(scale)
+		targetProf, err := measureOn(&tegra, bench, w)
+		if err != nil {
+			return nil, err
+		}
+		for _, host := range arch.HostGPUs() {
+			host := host
+			hostProf, err := measureOn(&host, bench, w)
+			if err != nil {
+				return nil, err
+			}
+			in, err := estimatorInputs(&host, &tegra, bench, w, hostProf)
+			if err != nil {
+				return nil, err
+			}
+			r, err := estimate.Estimate(in)
+			if err != nil {
+				return nil, err
+			}
+			norm := targetProf.TimeSec
+			row := SweepRow{
+				Kernel:   name,
+				Host:     host.Name,
+				C:        r.TimeC / norm,
+				C1:       r.TimeC1 / norm,
+				C2:       r.TimeC2 / norm,
+				PowerErr: (r.PowerW - targetProf.PowerW()) / targetProf.PowerW(),
+			}
+			res.Rows = append(res.Rows, row)
+			res.MeanAbsC += math.Abs(row.C - 1)
+			res.MeanAbsC1 += math.Abs(row.C1 - 1)
+			res.MeanAbsC2 += math.Abs(row.C2 - 1)
+			res.MeanAbsPowerErr += math.Abs(row.PowerErr)
+			if e := math.Abs(row.C2 - 1); e > res.WorstC2 {
+				res.WorstC2 = e
+			}
+			n++
+		}
+	}
+	res.MeanAbsC /= n
+	res.MeanAbsC1 /= n
+	res.MeanAbsC2 /= n
+	res.MeanAbsPowerErr /= n
+	return res, nil
+}
+
+func (r *SweepResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Estimation sweep: C/C'/C'' and power across the suite (target Tegra K1 = 1)\n")
+	fmt.Fprintf(&b, "%-22s %-12s %8s %8s %8s %9s\n", "kernel", "host", "C", "C'", "C''", "power err")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-22s %-12s %8.3f %8.3f %8.3f %8.1f%%\n",
+			row.Kernel, row.Host, row.C, row.C1, row.C2, 100*row.PowerErr)
+	}
+	fmt.Fprintf(&b, "mean |error|: C %.3f, C' %.3f, C'' %.3f; worst C'' %.3f; mean |power err| %.1f%%\n",
+		r.MeanAbsC, r.MeanAbsC1, r.MeanAbsC2, r.WorstC2, 100*r.MeanAbsPowerErr)
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEstimationSweep extends Fig. 12/13 across the whole suite: the ladder
+// must refine on average and C″ must stay within a sane band for nearly all
+// kernels.
+func TestEstimationSweep(t *testing.T) {
+	r, err := EstimationSweep(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	if r.MeanAbsC2 > r.MeanAbsC1 {
+		t.Errorf("mean C'' error %.3f should beat C' %.3f", r.MeanAbsC2, r.MeanAbsC1)
+	}
+	if r.MeanAbsC1 > r.MeanAbsC {
+		t.Errorf("mean C' error %.3f should beat C %.3f", r.MeanAbsC1, r.MeanAbsC)
+	}
+	if r.MeanAbsC2 > 0.25 {
+		t.Errorf("mean C'' error %.3f too large", r.MeanAbsC2)
+	}
+	if r.MeanAbsPowerErr > 0.15 {
+		t.Errorf("mean power error %.1f%% too large", 100*r.MeanAbsPowerErr)
+	}
+	bad := 0
+	for _, row := range r.Rows {
+		if e := row.C2 - 1; e > 0.5 || e < -0.5 {
+			bad++
+		}
+	}
+	if bad > len(r.Rows)/6 {
+		t.Errorf("%d of %d rows have C'' off by >50%%", bad, len(r.Rows))
+	}
+}
+
+// TestScalingShape: the emulation scenario scales linearly with VP count
+// while ΣVP shares the device — speedups stay in the three-decade band and
+// the optimized curve dominates.
+func TestScalingShape(t *testing.T) {
+	r, err := Scaling("BlackScholes", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	if len(r.Points) != 6 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for i, p := range r.Points {
+		if p.SpeedupOpt < p.SpeedupPlain*0.98 {
+			t.Errorf("VPs=%d: optimizations hurt", p.VPs)
+		}
+		if p.SpeedupPlain < 10 {
+			t.Errorf("VPs=%d: plain speedup %.0f implausibly low", p.VPs, p.SpeedupPlain)
+		}
+		if i > 0 && p.EmulSec <= r.Points[i-1].EmulSec {
+			t.Errorf("emulation must grow with VP count")
+		}
+	}
+	// Unknown app errors.
+	if _, err := Scaling("ghost", 1); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+// TestFig3Demonstration: the interleaved schedule shows the ≈1.5× gain and
+// strictly higher engine utilization.
+func TestFig3Demonstration(t *testing.T) {
+	r, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	speedup := r.WithoutSec / r.WithSec
+	if speedup < 1.4 || speedup > 1.6 {
+		t.Errorf("Fig. 3 speedup %.3f, want ≈1.5", speedup)
+	}
+	for _, eng := range []string{"h2d", "compute", "d2h"} {
+		if r.WithUtil[eng] <= r.WithoutUtil[eng] {
+			t.Errorf("%s utilization did not improve: %.3f → %.3f",
+				eng, r.WithoutUtil[eng], r.WithUtil[eng])
+		}
+	}
+	if !strings.Contains(r.WithGantt, "0") || !strings.Contains(r.WithGantt, "1") {
+		t.Error("Gantt missing stream marks")
+	}
+}

@@ -1,0 +1,521 @@
+package hostgpu
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/cachemodel"
+	"repro/internal/devmem"
+	"repro/internal/kir"
+	"repro/internal/kpl"
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+// Engine names. The device has dual copy engines (separate H2D and D2H DMA
+// queues, as on the Quadro 4000) plus the compute engine, so a copy-in →
+// kernel → copy-out loop pipelines across three engines — the (2+N)·T
+// schedule of the paper's Eq. 7.
+const (
+	EngineH2D     = "h2d"
+	EngineD2H     = "d2h"
+	EngineCompute = "compute"
+)
+
+// ExecMode selects whether kernel launches execute functionally.
+type ExecMode uint8
+
+// Execution modes.
+const (
+	// ExecFull runs the kernel's semantics against device memory (native
+	// implementation when provided, interpreter otherwise) and advances the
+	// simulated clock.
+	ExecFull ExecMode = iota
+	// ExecTimingOnly advances the simulated clock without touching buffer
+	// contents — used by large parameter sweeps where only time matters.
+	ExecTimingOnly
+)
+
+// Interval is a [start, end) span in simulated seconds.
+type Interval struct {
+	Start, End float64
+}
+
+// Duration returns End − Start.
+func (iv Interval) Duration() float64 { return iv.End - iv.Start }
+
+// Launch describes one kernel invocation.
+type Launch struct {
+	Kernel *kpl.Kernel
+	Prog   *kir.Program // analyzed form of Kernel
+
+	Grid              int // blocks
+	Block             int // threads per block
+	SharedMemPerBlock int
+	RegsPerThread     int
+
+	Params   map[string]kpl.Value
+	Bindings map[string]devmem.Ptr // kernel buffer name → device allocation
+
+	// Dyn optionally carries pre-measured dynamic statistics (λ for
+	// data-dependent loops). When nil and the kernel needs them, the device
+	// samples a few threads before launch (paper footnote 2).
+	Dyn *kpl.Stats
+
+	// Native optionally supplies compiled semantics for ExecFull mode; the
+	// interpreter is the fallback.
+	Native func(env *kpl.Env) error
+
+	// SigmaOverride, when non-nil, bypasses σ derivation — used by Kernel
+	// Coalescing, where the merged launch's instruction count is the sum of
+	// its constituents rather than a function of the merged parameters.
+	SigmaOverride *arch.ClassVec
+
+	// AccessesOverride, when non-nil, bypasses access-stream derivation for
+	// the cache model (same coalescing use).
+	AccessesOverride []cachemodel.Access
+
+	// ExecOverride, when non-nil, replaces kernel execution entirely in
+	// ExecFull mode (the coalescer runs each constituent piece on its slice
+	// of the merged buffers). It receives the owning device's memory.
+	ExecOverride func(mem *devmem.Mem) error
+}
+
+// Threads returns the total thread count.
+func (l *Launch) Threads() int { return l.Grid * l.Block }
+
+// Shape returns the launch geometry.
+func (l *Launch) Shape() profile.LaunchShape {
+	return profile.LaunchShape{
+		Grid:              l.Grid,
+		Block:             l.Block,
+		SharedMemPerBlock: l.SharedMemPerBlock,
+		RegsPerThread:     l.RegsPerThread,
+	}
+}
+
+// GPU is one simulated physical GPU.
+type GPU struct {
+	Arch arch.GPU
+	Mem  *devmem.Mem
+
+	// Mode selects functional vs timing-only kernel execution.
+	Mode ExecMode
+
+	// InOrderIssue enables the Fermi-style single hardware work queue: an
+	// operation cannot be dispatched before every earlier-submitted
+	// operation has been dispatched, even across independent streams. This
+	// head-of-line blocking is what Kernel Interleaving's reordering
+	// recovers (paper Figs. 3–4).
+	InOrderIssue bool
+
+	// Serialize models the unoptimized dispatcher: each job is dispatched
+	// only after every previously dispatched job has *completed*, so the
+	// engines never overlap — a copy-in/kernel/copy-out loop costs the full
+	// 3N·T of the paper's baseline (Section 3). Kernel Interleaving turns
+	// this off and pipelines the engines.
+	Serialize bool
+
+	// ComputeSlots > 1 enables Concurrent Kernel Execution: up to that many
+	// kernels from distinct streams overlap on the compute engine. The paper
+	// notes CKE "may automatically interleave kernels from distinct streams"
+	// but "can lead to suboptimal performance" (Fig. 3a) — overlapping
+	// kernels share issue bandwidth, so each runs proportionally slower.
+	ComputeSlots int
+
+	// Trace optionally records the engine timeline.
+	Trace *trace.Log
+
+	mu           sync.Mutex
+	engineFree   map[string]float64
+	computeSlots []float64 // per-slot free times under CKE
+	streamReady  map[int]float64
+	lastIssue    float64
+	busy         map[string]float64 // accumulated busy seconds per engine
+	kernelEnergy float64            // accumulated kernel energies (dynamic + per-launch static)
+}
+
+// New returns a GPU with the given descriptor and device memory capacity.
+func New(a arch.GPU, memBytes int64) *GPU {
+	return &GPU{
+		Arch:        a,
+		Mem:         devmem.New(memBytes),
+		engineFree:  map[string]float64{},
+		streamReady: map[int]float64{},
+		busy:        map[string]float64{},
+	}
+}
+
+// schedule places an operation of the given duration on an engine,
+// respecting stream order, engine availability, and (when enabled) in-order
+// issue. It returns the op's interval.
+func (g *GPU) schedule(engine string, stream int, dur float64, label string) Interval {
+	g.mu.Lock()
+	cke := engine == EngineCompute && g.ComputeSlots > 1 && !g.Serialize
+	var slot int
+	var engineReady float64
+	if cke {
+		if len(g.computeSlots) != g.ComputeSlots {
+			g.computeSlots = make([]float64, g.ComputeSlots)
+		}
+		slot = 0
+		for i, t := range g.computeSlots {
+			if t < g.computeSlots[slot] {
+				slot = i
+			}
+		}
+		engineReady = g.computeSlots[slot]
+	} else {
+		engineReady = g.engineFree[engine]
+	}
+	start := math.Max(g.streamReady[stream], engineReady)
+	if cke {
+		// Sharing the SMs: the kernel slows down in proportion to the
+		// kernels already in flight at its start (static fair share — the
+		// reason CKE alone "can lead to suboptimal performance", Fig. 3a).
+		overlapping := 1.0
+		for i, t := range g.computeSlots {
+			if i != slot && t > start {
+				overlapping++
+			}
+		}
+		dur *= overlapping
+	}
+	if g.Serialize {
+		for _, t := range g.engineFree {
+			start = math.Max(start, t)
+		}
+	}
+	if g.InOrderIssue {
+		start = math.Max(start, g.lastIssue)
+	}
+	g.lastIssue = start
+	end := start + dur
+	if cke {
+		g.computeSlots[slot] = end
+		if end > g.engineFree[engine] {
+			g.engineFree[engine] = end
+		}
+	} else {
+		g.engineFree[engine] = end
+	}
+	g.streamReady[stream] = end
+	g.busy[engine] += dur
+	g.mu.Unlock()
+	if g.Trace != nil {
+		g.Trace.Add(trace.Record{Engine: engine, Stream: stream, Label: label, Start: start, End: end})
+	}
+	return Interval{Start: start, End: end}
+}
+
+// CopyH2D transfers src into device memory at dst+off through the copy
+// engine and returns the transfer interval. In timing-only mode the bytes
+// are not materialized (bounds are still checked).
+func (g *GPU) CopyH2D(stream int, dst devmem.Ptr, off int, src []byte) (Interval, error) {
+	if g.Mode == ExecTimingOnly {
+		size, err := g.Mem.Size(dst)
+		if err != nil {
+			return Interval{}, err
+		}
+		if off < 0 || off+len(src) > size {
+			return Interval{}, fmt.Errorf("hostgpu: H2D [%d,%d) outside allocation of %d bytes", off, off+len(src), size)
+		}
+	} else if err := g.Mem.Write(dst, off, src); err != nil {
+		return Interval{}, err
+	}
+	dur := CopyTime(&g.Arch, len(src))
+	return g.schedule(EngineH2D, stream, dur, fmt.Sprintf("H2D %dB", len(src))), nil
+}
+
+// CopyD2H transfers n bytes from device memory at src+off back to the host.
+// In timing-only mode no bytes are returned (bounds are still checked).
+func (g *GPU) CopyD2H(stream int, src devmem.Ptr, off, n int) ([]byte, Interval, error) {
+	var data []byte
+	if g.Mode == ExecTimingOnly {
+		size, err := g.Mem.Size(src)
+		if err != nil {
+			return nil, Interval{}, err
+		}
+		if off < 0 || n < 0 || off+n > size {
+			return nil, Interval{}, fmt.Errorf("hostgpu: D2H [%d,%d) outside allocation of %d bytes", off, off+n, size)
+		}
+	} else {
+		var err error
+		data, err = g.Mem.Read(src, off, n)
+		if err != nil {
+			return nil, Interval{}, err
+		}
+	}
+	dur := CopyTime(&g.Arch, n)
+	iv := g.schedule(EngineD2H, stream, dur, fmt.Sprintf("D2H %dB", n))
+	return data, iv, nil
+}
+
+// Launch dispatches a kernel on the compute engine: it resolves σ and the
+// access streams, evaluates the timing model, optionally executes the kernel
+// functionally, and returns the profiler's view of the run.
+func (g *GPU) Launch(stream int, l *Launch) (*profile.Profile, Interval, error) {
+	if l.Kernel == nil || l.Prog == nil {
+		return nil, Interval{}, fmt.Errorf("hostgpu: launch without kernel or program")
+	}
+	if l.Grid <= 0 || l.Block <= 0 {
+		return nil, Interval{}, fmt.Errorf("hostgpu: %s: invalid launch %d×%d", l.Kernel.Name, l.Grid, l.Block)
+	}
+
+	sigma, accesses, err := g.ResolveSigma(l)
+	if err != nil {
+		return nil, Interval{}, err
+	}
+	sigmaThread := sigma.Scale(1 / float64(l.Threads()))
+
+	timing := KernelTiming(&g.Arch, l.Shape(), sigmaThread, accesses)
+
+	if g.Mode == ExecFull {
+		if l.ExecOverride != nil {
+			if err := l.ExecOverride(g.Mem); err != nil {
+				return nil, Interval{}, fmt.Errorf("hostgpu: %s: %w", l.Kernel.Name, err)
+			}
+		} else {
+			env, err := g.bindEnv(l)
+			if err != nil {
+				return nil, Interval{}, err
+			}
+			if err := g.execute(l, env); err != nil {
+				return nil, Interval{}, err
+			}
+		}
+	}
+
+	iv := g.schedule(EngineCompute, stream, timing.Seconds, l.Kernel.Name)
+	energy := KernelEnergy(&g.Arch, sigma, timing)
+	g.mu.Lock()
+	g.kernelEnergy += energy
+	g.mu.Unlock()
+	p := &profile.Profile{
+		Kernel:          l.Kernel.Name,
+		Arch:            g.Arch.Name,
+		Shape:           l.Shape(),
+		Sigma:           sigma,
+		Cycles:          timing.TotalCycles,
+		ComputeCycles:   timing.ComputeCycles,
+		DataStallCycles: timing.StallCycles,
+		OverheadCycles:  timing.OverheadCycles,
+		CacheAccesses:   timing.CacheAccesses,
+		CacheMisses:     timing.CacheMisses,
+		TimeSec:         timing.Seconds,
+		EnergyJ:         energy,
+	}
+	return p, iv, nil
+}
+
+// SessionEnergy returns the total energy of the measurement window: the
+// accumulated kernel energies plus the device's static power over the
+// session span (idle gaps included) — the device-level power accounting
+// behind the paper's "simulation-driven power analysis".
+func (g *GPU) SessionEnergy() float64 {
+	g.mu.Lock()
+	kernels := g.kernelEnergy
+	g.mu.Unlock()
+	return kernels + g.Arch.StaticPowerW*g.Sync()
+}
+
+// ResolveSigma derives the launch's σ on this device's architecture and its
+// cache-model access streams, honouring overrides and sampling λ for
+// data-dependent kernels (paper footnote 2). The coalescer uses it to price
+// the pieces of a merged launch.
+func (g *GPU) ResolveSigma(l *Launch) (arch.ClassVec, []cachemodel.Access, error) {
+	if l.SigmaOverride != nil {
+		return *l.SigmaOverride, l.AccessesOverride, nil
+	}
+	env, err := g.bindEnv(l)
+	if err != nil {
+		return arch.ClassVec{}, nil, err
+	}
+	dyn := l.Dyn
+	if dyn == nil && l.Prog.NeedsDynamicProfile() {
+		dyn, err = l.Kernel.SampleStats(env, 32)
+		if err != nil {
+			return arch.ClassVec{}, nil, fmt.Errorf("hostgpu: %s: pre-launch sampling: %w", l.Kernel.Name, err)
+		}
+	}
+	kl := kir.Launch{NThreads: l.Threads(), Params: l.Params}
+	sigma, err := l.Prog.Sigma(&g.Arch, kl, dyn)
+	if err != nil {
+		return arch.ClassVec{}, nil, fmt.Errorf("hostgpu: %s: %w", l.Kernel.Name, err)
+	}
+	accesses, err := g.accessStreams(l, kl, dyn)
+	if err != nil {
+		return arch.ClassVec{}, nil, err
+	}
+	return sigma, accesses, nil
+}
+
+// bindEnv materializes the kernel's buffer views from device memory.
+func (g *GPU) bindEnv(l *Launch) (*kpl.Env, error) {
+	env := &kpl.Env{NThreads: l.Threads(), Params: l.Params, Bufs: map[string]*kpl.Buffer{}}
+	if env.Params == nil {
+		env.Params = map[string]kpl.Value{}
+	}
+	for _, decl := range l.Kernel.Bufs {
+		ptr, ok := l.Bindings[decl.Name]
+		if !ok {
+			return nil, fmt.Errorf("hostgpu: %s: buffer %q not bound", l.Kernel.Name, decl.Name)
+		}
+		buf, err := g.Mem.BindBuffer(ptr, decl.Elem)
+		if err != nil {
+			return nil, fmt.Errorf("hostgpu: %s: buffer %q: %w", l.Kernel.Name, decl.Name, err)
+		}
+		env.Bufs[decl.Name] = buf
+	}
+	return env, nil
+}
+
+// execute runs the kernel's semantics and writes results back to device
+// memory.
+func (g *GPU) execute(l *Launch, env *kpl.Env) error {
+	if l.Native != nil {
+		if err := l.Native(env); err != nil {
+			return fmt.Errorf("hostgpu: %s: native execution: %w", l.Kernel.Name, err)
+		}
+	} else if err := l.Kernel.ExecAll(env, nil); err != nil {
+		return err
+	}
+	for _, decl := range l.Kernel.Bufs {
+		if decl.ReadOnly {
+			continue
+		}
+		if err := g.Mem.WriteBuffer(l.Bindings[decl.Name], env.Bufs[decl.Name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// accessStreams derives the cache-model access descriptors for the launch.
+func (g *GPU) accessStreams(l *Launch, kl kir.Launch, dyn *kpl.Stats) ([]cachemodel.Access, error) {
+	counts, err := l.Prog.BufAccesses(kl, dyn)
+	if err != nil {
+		return nil, fmt.Errorf("hostgpu: %s: %w", l.Kernel.Name, err)
+	}
+	var out []cachemodel.Access
+	for _, decl := range l.Kernel.Bufs {
+		c := counts[decl.Name]
+		if c.Total() == 0 {
+			continue
+		}
+		ptr, ok := l.Bindings[decl.Name]
+		if !ok {
+			return nil, fmt.Errorf("hostgpu: %s: buffer %q not bound", l.Kernel.Name, decl.Name)
+		}
+		size, err := g.Mem.Size(ptr)
+		if err != nil {
+			return nil, err
+		}
+		elems := size / decl.Elem.Size()
+		if elems < 1 {
+			elems = 1
+		}
+		l2 := decl.L2Fraction
+		if l2 <= 0 || l2 > 1 {
+			l2 = 1
+		}
+		out = append(out, cachemodel.Access{
+			Pattern:  decl.Access,
+			Accesses: c.Total() * l2,
+			Elems:    elems,
+			ElemSize: decl.Elem.Size(),
+			Stride:   decl.Stride,
+		})
+	}
+	return out, nil
+}
+
+// Memset fills n bytes of device memory with a value through the compute
+// engine's fill path at device-memory bandwidth (cudaMemset).
+func (g *GPU) Memset(stream int, dst devmem.Ptr, off, n int, value byte) (Interval, error) {
+	if g.Mode == ExecTimingOnly {
+		size, err := g.Mem.Size(dst)
+		if err != nil {
+			return Interval{}, err
+		}
+		if off < 0 || n < 0 || off+n > size {
+			return Interval{}, fmt.Errorf("hostgpu: memset [%d,%d) outside allocation of %d bytes", off, off+n, size)
+		}
+	} else {
+		fill := make([]byte, n)
+		if value != 0 {
+			for i := range fill {
+				fill[i] = value
+			}
+		}
+		if err := g.Mem.Write(dst, off, fill); err != nil {
+			return Interval{}, err
+		}
+	}
+	dur := float64(n) / (g.Arch.MemBWGBps * 1e9)
+	return g.schedule(EngineCompute, stream, dur, fmt.Sprintf("memset %dB", n)), nil
+}
+
+// CopyD2D moves n bytes between two device allocations through device
+// memory at MemBW (the memory-chunk merge of Kernel Coalescing, paper
+// Fig. 5). In timing-only mode no bytes move.
+func (g *GPU) CopyD2D(stream int, dst devmem.Ptr, dstOff int, src devmem.Ptr, srcOff, n int) (Interval, error) {
+	if g.Mode != ExecTimingOnly {
+		data, err := g.Mem.Read(src, srcOff, n)
+		if err != nil {
+			return Interval{}, err
+		}
+		if err := g.Mem.Write(dst, dstOff, data); err != nil {
+			return Interval{}, err
+		}
+	}
+	dur := float64(n) / (g.Arch.MemBWGBps * 1e9)
+	return g.schedule(EngineH2D, stream, dur, fmt.Sprintf("D2D %dB", n)), nil
+}
+
+// SyncStream returns the simulated time at which all work submitted to the
+// stream completes.
+func (g *GPU) SyncStream(stream int) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.streamReady[stream]
+}
+
+// Sync returns the simulated time at which all submitted work completes.
+func (g *GPU) Sync() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var t float64
+	for _, v := range g.engineFree {
+		t = math.Max(t, v)
+	}
+	for _, v := range g.streamReady {
+		t = math.Max(t, v)
+	}
+	return t
+}
+
+// BusySeconds returns the accumulated busy time of an engine.
+func (g *GPU) BusySeconds(engine string) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.busy[engine]
+}
+
+// ResetClock rewinds the simulated clock to zero without touching device
+// memory, starting a fresh measurement window.
+func (g *GPU) ResetClock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.engineFree = map[string]float64{}
+	g.computeSlots = nil
+	g.streamReady = map[int]float64{}
+	g.lastIssue = 0
+	g.busy = map[string]float64{}
+	g.kernelEnergy = 0
+	if g.Trace != nil {
+		g.Trace.Reset()
+	}
+}

@@ -1,0 +1,107 @@
+// Package hostgpu is the deterministic discrete-event model of a physical
+// GPU: a Copy Engine and a Compute Engine that operate in parallel (paper
+// Section 3), streams with in-order semantics, a Fermi-style single hardware
+// work queue whose head-of-line blocking the Re-scheduler's Kernel
+// Interleaving works around, an occupancy/wave-quantized kernel timing
+// model, a probabilistic cache-stall component, functional kernel execution
+// against simulated device memory, and per-launch profile emission.
+//
+// It substitutes for the paper's NVIDIA Quadro 4000 / Grid K520 host GPUs
+// and, instantiated with the Tegra K1 descriptor, serves as the measured
+// target device of the timing/power experiments.
+package hostgpu
+
+import (
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/cachemodel"
+	"repro/internal/profile"
+)
+
+// Timing is the analytic duration breakdown of one kernel launch.
+type Timing struct {
+	ResidentBlocks int // blocks resident per SM (occupancy)
+	ResidentWarps  int // warps resident per SM
+	ActiveSMs      int // SMs with at least one block
+	Waves          int // ceil(grid / (SMs × resident))
+
+	IssueCycles    float64 // throughput bound: total issue work on the busiest SM
+	LatencyCycles  float64 // latency bound: waves × single-warp critical path
+	ComputeCycles  float64 // max(issue, latency)
+	StallCycles    float64 // Υ[data] from the cache model
+	OverheadCycles float64 // kernel launch overhead To
+	TotalCycles    float64
+	Seconds        float64
+	CacheMisses    float64
+	CacheAccesses  float64
+}
+
+// KernelTiming evaluates the timing model for a launch of the given shape
+// whose average thread executes sigmaThread instructions and whose buffers
+// are addressed as described by accesses.
+//
+// The model produces the three effects the paper's experiments hinge on:
+//
+//   - wave quantization with step = SMCount: a grid of 9 and a grid of 16
+//     blocks take the same time on an 8-SM GPU (Fig. 10b's staircase,
+//     Eq. 9);
+//   - parallelism scaling: a 1-block kernel uses one SM, so coalescing N
+//     grids multiplies throughput until the device saturates (Fig. 10a);
+//   - per-launch overhead To that coalescing amortizes.
+func KernelTiming(g *arch.GPU, shape profile.LaunchShape, sigmaThread arch.ClassVec, accesses []cachemodel.Access) Timing {
+	var t Timing
+	grid, block := shape.Grid, shape.Block
+	if grid < 1 {
+		grid = 1
+	}
+	if block < 1 {
+		block = 1
+	}
+	t.ResidentBlocks = g.ResidentBlocks(block, shape.SharedMemPerBlock, shape.RegsPerThread)
+	warpsPerBlock := (block + g.WarpSize - 1) / g.WarpSize
+	t.ResidentWarps = t.ResidentBlocks * warpsPerBlock
+	t.ActiveSMs = grid
+	if t.ActiveSMs > g.SMCount {
+		t.ActiveSMs = g.SMCount
+	}
+	t.Waves = (grid + g.SMCount*t.ResidentBlocks - 1) / (g.SMCount * t.ResidentBlocks)
+
+	instrPerThread := sigmaThread.Sum()
+	// Throughput bound: the busiest SM issues all warp-instructions of its
+	// blocks at IssuePerSM warp-instructions per cycle.
+	blocksOnBusiest := float64((grid + g.SMCount - 1) / g.SMCount)
+	t.IssueCycles = blocksOnBusiest * float64(warpsPerBlock) * instrPerThread / g.IssuePerSM()
+	// Latency bound: each wave must at least cover one warp's dependent
+	// critical path Σ σ_i·τ_i.
+	t.LatencyCycles = float64(t.Waves) * sigmaThread.Dot(g.Latency)
+	t.ComputeCycles = math.Max(t.IssueCycles, t.LatencyCycles)
+
+	cache := cachemodel.Analyze(g, accesses, t.ResidentWarps, t.ActiveSMs)
+	t.StallCycles = cache.StallCycles
+	t.CacheMisses = cache.Misses
+	t.CacheAccesses = cache.Accesses
+
+	t.OverheadCycles = g.LaunchOverheadUS * 1e-6 * g.ClockHz()
+	t.TotalCycles = t.ComputeCycles + t.StallCycles + t.OverheadCycles
+	t.Seconds = t.TotalCycles / g.ClockHz()
+	return t
+}
+
+// CopyTime returns the duration of a host↔device transfer of n bytes on the
+// copy engine: a fixed setup latency plus bandwidth time.
+func CopyTime(g *arch.GPU, n int) float64 {
+	if n < 0 {
+		n = 0
+	}
+	return g.CopyLatencyUS*1e-6 + float64(n)/(g.CopyBWGBps*1e9)
+}
+
+// KernelEnergy returns the energy of one launch: per-class instruction
+// energy, cache-miss energy, and static power over the launch duration.
+func KernelEnergy(g *arch.GPU, sigma arch.ClassVec, t Timing) float64 {
+	dynamic := sigma.Dot(g.EnergyPerInstr)
+	miss := t.CacheMisses * g.MissEnergyJ
+	static := g.StaticPowerW * t.Seconds
+	return dynamic + miss + static
+}

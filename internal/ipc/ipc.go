@@ -1,0 +1,320 @@
+// Package ipc implements the IPC Manager of the ΣVP architecture (paper
+// Fig. 2): the channel through which virtual embedded GPUs inside VPs talk
+// to the host-GPU service. Two transports are provided — an in-process
+// transport for co-simulated VPs and a TCP socket transport for VPs running
+// as separate processes ("an IPC method such as socket or shared memory") —
+// plus the VP Control primitive the service uses to stop and resume VPs for
+// synchronous-kernel interleaving (paper Fig. 4b).
+package ipc
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/devmem"
+	"repro/internal/kpl"
+)
+
+// Request and response bodies. Kernel launches travel by registry name: the
+// service holds the kernel binaries (binary compatibility — guest
+// applications never change between back ends).
+
+// MallocReq allocates device memory.
+type MallocReq struct{ Size int }
+
+// MallocResp returns the new device pointer.
+type MallocResp struct{ Ptr devmem.Ptr }
+
+// FreeReq releases device memory.
+type FreeReq struct{ Ptr devmem.Ptr }
+
+// H2DReq copies host bytes into device memory.
+type H2DReq struct {
+	Stream int
+	Dst    devmem.Ptr
+	Off    int
+	Data   []byte
+}
+
+// D2HReq copies device bytes back to the host.
+type D2HReq struct {
+	Stream int
+	Src    devmem.Ptr
+	Off, N int
+}
+
+// D2HResp carries the copied bytes.
+type D2HResp struct {
+	Data []byte
+	End  float64 // simulated completion time
+}
+
+// MemsetReq fills device memory with a byte value (cudaMemset).
+type MemsetReq struct {
+	Stream int
+	Dst    devmem.Ptr
+	Off, N int
+	Value  byte
+}
+
+// LaunchReq invokes a named kernel.
+type LaunchReq struct {
+	Stream      int
+	Kernel      string
+	Grid, Block int
+	SharedMem   int
+	Regs        int
+	Params      map[string]kpl.Value
+	Bindings    map[string]devmem.Ptr
+}
+
+// SyncReq waits for the VP's outstanding work.
+type SyncReq struct{ Stream int }
+
+// OKResp acknowledges an operation.
+type OKResp struct {
+	End float64 // simulated completion time of the op
+}
+
+// ErrResp reports a failure.
+type ErrResp struct{ Msg string }
+
+// hello is the first frame of a TCP session, identifying the VP.
+type hello struct{ VP int }
+
+func init() {
+	gob.Register(MallocReq{})
+	gob.Register(MallocResp{})
+	gob.Register(FreeReq{})
+	gob.Register(H2DReq{})
+	gob.Register(D2HReq{})
+	gob.Register(D2HResp{})
+	gob.Register(MemsetReq{})
+	gob.Register(LaunchReq{})
+	gob.Register(SyncReq{})
+	gob.Register(OKResp{})
+	gob.Register(ErrResp{})
+	gob.Register(kpl.Value{})
+}
+
+// Handler processes one request from one VP and returns the response body.
+type Handler func(vp int, req any) any
+
+// Client is a VP-side connection to the service.
+type Client interface {
+	Call(req any) (any, error)
+	Close() error
+}
+
+// Err converts an ErrResp into an error, passing other responses through.
+func Err(resp any) (any, error) {
+	if e, ok := resp.(ErrResp); ok {
+		return nil, fmt.Errorf("ipc: %s", e.Msg)
+	}
+	return resp, nil
+}
+
+// --- In-process transport ---
+
+type pipeClient struct {
+	vp int
+	h  Handler
+	mu sync.Mutex
+}
+
+// Pipe returns an in-process client that invokes the handler directly (the
+// shared-memory flavour of the IPC manager).
+func Pipe(vp int, h Handler) Client {
+	return &pipeClient{vp: vp, h: h}
+}
+
+func (p *pipeClient) Call(req any) (any, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Err(p.h(p.vp, req))
+}
+
+func (p *pipeClient) Close() error { return nil }
+
+// --- TCP socket transport ---
+
+// Server accepts VP connections on a listener and serves requests.
+type Server struct {
+	l            net.Listener
+	h            Handler
+	onConnect    func(vp int)
+	onDisconnect func(vp int)
+	mu           sync.Mutex
+	closed       bool
+	conns        map[net.Conn]struct{}
+	serving      sync.WaitGroup
+}
+
+// Serve starts accepting connections; it returns immediately.
+func Serve(l net.Listener, h Handler) *Server {
+	return ServeWithHooks(l, h, nil, nil)
+}
+
+// ServeWithHooks additionally invokes the callbacks when a VP's connection
+// opens and closes — the host service uses them to register VPs with the
+// VP-control batching logic.
+func ServeWithHooks(l net.Listener, h Handler, onConnect, onDisconnect func(vp int)) *Server {
+	s := &Server{l: l, h: h, onConnect: onConnect, onDisconnect: onDisconnect, conns: map[net.Conn]struct{}{}}
+	s.serving.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+func (s *Server) acceptLoop() {
+	defer s.serving.Done()
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.serving.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.serving.Done()
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var hi hello
+	if err := dec.Decode(&hi); err != nil {
+		return
+	}
+	if s.onConnect != nil {
+		s.onConnect(hi.VP)
+	}
+	if s.onDisconnect != nil {
+		defer s.onDisconnect(hi.VP)
+	}
+	for {
+		var req any
+		if err := dec.Decode(&req); err != nil {
+			if err != io.EOF {
+				_ = enc.Encode(any(ErrResp{Msg: err.Error()}))
+			}
+			return
+		}
+		resp := s.h(hi.VP, req)
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() net.Addr { return s.l.Addr() }
+
+// Close stops the server and closes all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	err := s.l.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.serving.Wait()
+	return err
+}
+
+type tcpClient struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	mu   sync.Mutex
+}
+
+// Dial connects a VP to a service over TCP.
+func Dial(addr string, vp int) (Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &tcpClient{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	if err := c.enc.Encode(hello{VP: vp}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *tcpClient) Call(req any) (any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(&req); err != nil {
+		return nil, err
+	}
+	var resp any
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, err
+	}
+	return Err(resp)
+}
+
+func (c *tcpClient) Close() error { return c.conn.Close() }
+
+// --- VP Control ---
+
+// Gate is the VP Control primitive: the service stops and resumes a VP's
+// progress to interleave synchronous kernel invocations (paper Fig. 4b). The
+// VP calls Wait before each GPU operation; the service toggles Stop/Resume.
+type Gate struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	stopped bool
+}
+
+// NewGate returns an open gate.
+func NewGate() *Gate {
+	g := &Gate{}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Stop blocks future Wait calls until Resume.
+func (g *Gate) Stop() {
+	g.mu.Lock()
+	g.stopped = true
+	g.mu.Unlock()
+}
+
+// Resume releases the gate.
+func (g *Gate) Resume() {
+	g.mu.Lock()
+	g.stopped = false
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// Wait blocks while the gate is stopped.
+func (g *Gate) Wait() {
+	g.mu.Lock()
+	for g.stopped {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// Stopped reports whether the gate is currently stopped.
+func (g *Gate) Stopped() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stopped
+}

@@ -1,0 +1,37 @@
+package kernels
+
+import "repro/internal/kpl"
+
+// Local aliases keep the kernel definitions close to CUDA-source density.
+var (
+	ci, cf, cd = kpl.CI, kpl.CF, kpl.CD
+	tid, nt    = kpl.TID, kpl.NT
+	par, lv    = kpl.P, kpl.V
+
+	add, sub, mul, div = kpl.Add, kpl.Sub, kpl.Mul, kpl.Div
+	mod, minE, maxE    = kpl.Mod, kpl.Min, kpl.Max
+	lt, le, gt, ge     = kpl.LT, kpl.LE, kpl.GT, kpl.GE
+	shlE, shrE, andE   = kpl.Shl, kpl.Shr, kpl.And
+
+	neg, abs      = kpl.Neg, kpl.Abs
+	sqrtE, rsqrtE = kpl.Sqrt, kpl.Rsqrt
+	expE, logE    = kpl.Exp, kpl.Log
+	sinE, cosE    = kpl.Sin, kpl.Cos
+
+	load, store, let = kpl.Load, kpl.Store, kpl.Let
+	sel              = kpl.Sel
+	toF32, toI32     = kpl.ToF32, kpl.ToI32
+	forL, ifS, ifP   = kpl.For, kpl.If, kpl.IfProb
+	atomAdd, brk     = kpl.AtomicAdd, kpl.Break
+)
+
+// eptExpr returns ⌈n/NT⌉ as an expression: the per-thread element count of a
+// grid-stride loop whose bounds stay statically resolvable.
+func eptExpr(n kpl.Expr) kpl.Expr {
+	return div(add(n, sub(nt(), ci(1))), nt())
+}
+
+// gsIndex returns tid + j·NT, the grid-stride global index.
+func gsIndex(j string) kpl.Expr {
+	return add(tid(), mul(lv(j), nt()))
+}

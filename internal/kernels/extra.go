@@ -1,0 +1,463 @@
+package kernels
+
+import (
+	"math"
+
+	"repro/internal/devmem"
+	"repro/internal/kpl"
+)
+
+// The benchmarks in this file extend the suite beyond the paper's Fig. 11
+// list with further CUDA SDK workloads, exercising instruction mixes the
+// core set lacks (bit-manipulation generators, tree recombination,
+// segment-local transforms, 2D stencils and scans).
+
+// BinomialOptions prices options on a recombining binomial tree (CUDA SDK
+// binomialOptions): each thread owns one option and sweeps the tree in a
+// device workspace. FP32 loop-heavy with a triangular iteration space.
+var BinomialOptions = register(&Benchmark{
+	Name: "binomialOptions",
+	Kernel: &kpl.Kernel{
+		Name: "binomialOptions",
+		Params: []kpl.ParamDecl{
+			{Name: "n", T: kpl.I32},
+			{Name: "steps", T: kpl.I32},
+			{Name: "up", T: kpl.F32},
+			{Name: "down", T: kpl.F32},
+			{Name: "pu", T: kpl.F32},
+		},
+		Bufs: []kpl.BufDecl{
+			{Name: "spot", Elem: kpl.F32, Access: kpl.AccessSeq, ReadOnly: true},
+			{Name: "strike", Elem: kpl.F32, Access: kpl.AccessSeq, ReadOnly: true},
+			{Name: "ws", Elem: kpl.F32, Access: kpl.AccessSeq, L2Fraction: 0.1},
+			{Name: "out", Elem: kpl.F32, Access: kpl.AccessSeq},
+		},
+		Body: []kpl.Stmt{
+			ifP(0.95, lt(tid(), par("n")),
+				let("s", load("spot", tid())),
+				let("x", load("strike", tid())),
+				let("base", mul(tid(), add(par("steps"), ci(1)))),
+				// Terminal payoffs: s·up^i·down^(steps-i) − x, floored at 0.
+				forL("leaves", "i", ci(0), add(par("steps"), ci(1)),
+					let("price", lv("s")),
+					forL("ups", "u", ci(0), lv("i"),
+						let("price", mul(lv("price"), par("up"))),
+					),
+					forL("downs", "dcnt", lv("i"), par("steps"),
+						let("price", mul(lv("price"), par("down"))),
+					),
+					store("ws", add(lv("base"), lv("i")), maxE(sub(lv("price"), lv("x")), cf(0))),
+				),
+				// Backward recombination.
+				forL("levels", "lev", ci(0), par("steps"),
+					let("width", sub(par("steps"), lv("lev"))),
+					forL("nodes", "j", ci(0), lv("width"),
+						let("vUp", load("ws", add(lv("base"), add(lv("j"), ci(1))))),
+						let("vDn", load("ws", add(lv("base"), lv("j")))),
+						store("ws", add(lv("base"), lv("j")),
+							add(mul(par("pu"), lv("vUp")), mul(sub(cf(1), par("pu")), lv("vDn")))),
+					),
+				),
+				store("out", tid(), load("ws", lv("base"))),
+			),
+		},
+	},
+	Native: func(env *kpl.Env) error {
+		n := int(env.Params["n"].Int())
+		steps := int(env.Params["steps"].Int())
+		up := float32(env.Params["up"].Float())
+		down := float32(env.Params["down"].Float())
+		pu := float32(env.Params["pu"].Float())
+		spot, strike := env.Bufs["spot"].F32s, env.Bufs["strike"].F32s
+		ws, out := env.Bufs["ws"].F32s, env.Bufs["out"].F32s
+		for t := 0; t < n && t < env.NThreads; t++ {
+			s, x := spot[t], strike[t]
+			base := t * (steps + 1)
+			for i := 0; i <= steps; i++ {
+				price := s
+				for u := 0; u < i; u++ {
+					price *= up
+				}
+				for d := i; d < steps; d++ {
+					price *= down
+				}
+				pay := price - x
+				if pay < 0 {
+					pay = 0
+				}
+				ws[base+i] = pay
+			}
+			for lev := 0; lev < steps; lev++ {
+				width := steps - lev
+				for j := 0; j < width; j++ {
+					ws[base+j] = pu*ws[base+j+1] + (1-pu)*ws[base+j]
+				}
+			}
+			out[t] = ws[base]
+		}
+		return nil
+	},
+	MakeWorkload: func(scale int) *Workload {
+		n, steps := 512*scale, 16
+		r := newPRNG(20)
+		return &Workload{
+			Grid:  ceilDiv(n, 256),
+			Block: 256,
+			N:     n,
+			Params: map[string]kpl.Value{
+				"n":     kpl.IntVal(int64(n)),
+				"steps": kpl.IntVal(int64(steps)),
+				"up":    kpl.F32Val(1.05),
+				"down":  kpl.F32Val(0.9524),
+				"pu":    kpl.F32Val(0.52),
+			},
+			BufBytes: map[string]int{
+				"spot": 4 * n, "strike": 4 * n,
+				"ws": 4 * n * (steps + 1), "out": 4 * n,
+			},
+			Inputs: map[string][]byte{
+				"spot":   devmem.EncodeF32(r.f32Slice(n, 10, 50)),
+				"strike": devmem.EncodeF32(r.f32Slice(n, 10, 50)),
+			},
+			OutBufs: []string{"out"},
+		}
+	},
+	Iterations:       10,
+	NonCUDAVPSeconds: 0.00010, // option batches read from files
+	Coalescable:      true,
+})
+
+// QuasirandomGenerator produces Sobol-like quasirandom numbers through pure
+// bit manipulation (CUDA SDK quasirandomGenerator) — the most Bit-heavy mix
+// in the suite.
+var QuasirandomGenerator = register(&Benchmark{
+	Name: "quasirandomGenerator",
+	Kernel: &kpl.Kernel{
+		Name:   "quasirandomGenerator",
+		Params: []kpl.ParamDecl{{Name: "n", T: kpl.I32}},
+		Bufs: []kpl.BufDecl{
+			{Name: "dirs", Elem: kpl.I32, Access: kpl.AccessBroadcast, ReadOnly: true},
+			{Name: "out", Elem: kpl.F32, Access: kpl.AccessSeq},
+		},
+		Body: []kpl.Stmt{
+			ifP(0.95, lt(tid(), par("n")),
+				let("acc", ci(0)),
+				let("g", kpl.Xor(tid(), shrE(tid(), ci(1)))), // Gray code
+				forL("bits", "b", ci(0), ci(24),
+					ifS(kpl.NE(andE(shrE(lv("g"), lv("b")), ci(1)), ci(0)),
+						let("acc", kpl.Xor(lv("acc"), load("dirs", lv("b")))),
+					),
+				),
+				store("out", tid(), div(toF32(lv("acc")), cf(16777216))),
+			),
+		},
+	},
+	Native: func(env *kpl.Env) error {
+		n := int(env.Params["n"].Int())
+		dirs, out := env.Bufs["dirs"].I32s, env.Bufs["out"].F32s
+		for t := 0; t < n && t < env.NThreads; t++ {
+			var acc int32
+			g := int32(t) ^ (int32(t) >> 1)
+			for b := 0; b < 24; b++ {
+				if (g>>b)&1 != 0 {
+					acc ^= dirs[b]
+				}
+			}
+			out[t] = float32(acc) / 16777216
+		}
+		return nil
+	},
+	MakeWorkload: func(scale int) *Workload {
+		n := 16384 * scale
+		dirs := make([]int32, 24)
+		for b := range dirs {
+			dirs[b] = 1 << (23 - b) // plain radical-inverse direction numbers
+		}
+		return &Workload{
+			Grid:  ceilDiv(n, 256),
+			Block: 256,
+			N:     n,
+			Params: map[string]kpl.Value{
+				"n": kpl.IntVal(int64(n)),
+			},
+			BufBytes: map[string]int{"dirs": 4 * 24, "out": 4 * n},
+			Inputs: map[string][]byte{
+				"dirs": devmem.EncodeI32(dirs),
+			},
+			OutBufs: []string{"out"},
+		}
+	},
+	Iterations:  10,
+	Coalescable: true,
+})
+
+// DWTHaar1D computes one level of the Haar wavelet transform per segment
+// (CUDA SDK dwtHaar1D): pairwise averages and differences.
+var DWTHaar1D = register(&Benchmark{
+	Name: "dwtHaar1D",
+	Kernel: &kpl.Kernel{
+		Name:   "dwtHaar1D",
+		Params: []kpl.ParamDecl{{Name: "half", T: kpl.I32}},
+		Bufs: []kpl.BufDecl{
+			{Name: "in", Elem: kpl.F32, Access: kpl.AccessSeq, ReadOnly: true},
+			{Name: "approx", Elem: kpl.F32, Access: kpl.AccessSeq},
+			{Name: "detail", Elem: kpl.F32, Access: kpl.AccessSeq},
+		},
+		Body: []kpl.Stmt{
+			ifP(0.95, lt(tid(), par("half")),
+				let("a", load("in", mul(tid(), ci(2)))),
+				let("b", load("in", add(mul(tid(), ci(2)), ci(1)))),
+				let("r", cf(0.70710678)),
+				store("approx", tid(), mul(add(lv("a"), lv("b")), lv("r"))),
+				store("detail", tid(), mul(sub(lv("a"), lv("b")), lv("r"))),
+			),
+		},
+	},
+	Native: func(env *kpl.Env) error {
+		half := int(env.Params["half"].Int())
+		in := env.Bufs["in"].F32s
+		approx, detail := env.Bufs["approx"].F32s, env.Bufs["detail"].F32s
+		const r = float32(0.70710678)
+		for t := 0; t < half && t < env.NThreads; t++ {
+			a, b := in[2*t], in[2*t+1]
+			approx[t] = (a + b) * r
+			detail[t] = (a - b) * r
+		}
+		return nil
+	},
+	MakeWorkload: func(scale int) *Workload {
+		half := 8192 * scale
+		n := 2 * half
+		r := newPRNG(21)
+		return &Workload{
+			Grid:  ceilDiv(half, 256),
+			Block: 256,
+			N:     n,
+			Params: map[string]kpl.Value{
+				"half": kpl.IntVal(int64(half)),
+			},
+			BufBytes: map[string]int{"in": 4 * n, "approx": 4 * half, "detail": 4 * half},
+			Inputs: map[string][]byte{
+				"in": devmem.EncodeF32(r.f32Slice(n, -1, 1)),
+			},
+			OutBufs: []string{"approx", "detail"},
+		}
+	},
+	Iterations:        10,
+	Coalescable:       true,
+	CopyEachIteration: true,
+})
+
+// FastWalshTransform applies the Walsh–Hadamard butterfly within per-thread
+// segments (CUDA SDK fastWalshTransform): additions and bit arithmetic.
+var FastWalshTransform = register(&Benchmark{
+	Name: "fastWalshTransform",
+	Kernel: &kpl.Kernel{
+		Name: "fastWalshTransform",
+		Params: []kpl.ParamDecl{
+			{Name: "seg", T: kpl.I32},  // segment length (power of two)
+			{Name: "nseg", T: kpl.I32}, // segments
+			{Name: "log2", T: kpl.I32}, // log2(seg)
+		},
+		Bufs: []kpl.BufDecl{
+			{Name: "d", Elem: kpl.F32, Access: kpl.AccessSeq},
+		},
+		Body: []kpl.Stmt{
+			ifP(0.95, lt(tid(), par("nseg")),
+				let("base", mul(tid(), par("seg"))),
+				forL("stages", "s", ci(0), par("log2"),
+					let("hw", shlE(ci(1), lv("s"))),
+					forL("pairs", "j", ci(0), shrE(par("seg"), ci(1)),
+						// Butterfly index: group of hw, offset within group.
+						let("grp", div(lv("j"), lv("hw"))),
+						let("off", mod(lv("j"), lv("hw"))),
+						let("i0", add(lv("base"), add(mul(lv("grp"), shlE(lv("hw"), ci(1))), lv("off")))),
+						let("i1", add(lv("i0"), lv("hw"))),
+						let("a", load("d", lv("i0"))),
+						let("b", load("d", lv("i1"))),
+						store("d", lv("i0"), add(lv("a"), lv("b"))),
+						store("d", lv("i1"), sub(lv("a"), lv("b"))),
+					),
+				),
+			),
+		},
+	},
+	Native: func(env *kpl.Env) error {
+		seg := int(env.Params["seg"].Int())
+		nseg := int(env.Params["nseg"].Int())
+		log2 := int(env.Params["log2"].Int())
+		d := env.Bufs["d"].F32s
+		for t := 0; t < nseg && t < env.NThreads; t++ {
+			base := t * seg
+			for s := 0; s < log2; s++ {
+				hw := 1 << s
+				for j := 0; j < seg/2; j++ {
+					grp, off := j/hw, j%hw
+					i0 := base + grp*(hw<<1) + off
+					i1 := i0 + hw
+					a, b := d[i0], d[i1]
+					d[i0], d[i1] = a+b, a-b
+				}
+			}
+		}
+		return nil
+	},
+	MakeWorkload: func(scale int) *Workload {
+		seg, log2 := 64, 6
+		nseg := 256 * scale
+		n := seg * nseg
+		r := newPRNG(22)
+		return &Workload{
+			Grid:  ceilDiv(nseg, 256),
+			Block: 256,
+			N:     n,
+			Params: map[string]kpl.Value{
+				"seg":  kpl.IntVal(int64(seg)),
+				"nseg": kpl.IntVal(int64(nseg)),
+				"log2": kpl.IntVal(int64(log2)),
+			},
+			BufBytes: map[string]int{"d": 4 * n},
+			Inputs: map[string][]byte{
+				"d": devmem.EncodeF32(r.f32Slice(n, -1, 1)),
+			},
+			OutBufs: []string{"d"},
+		}
+	},
+	Iterations:        10,
+	Coalescable:       true,
+	CopyEachIteration: true,
+})
+
+// Scan computes per-segment inclusive prefix sums (CUDA SDK scan's
+// per-block stage).
+var Scan = register(&Benchmark{
+	Name: "scan",
+	Kernel: &kpl.Kernel{
+		Name: "scan",
+		Params: []kpl.ParamDecl{
+			{Name: "seg", T: kpl.I32},
+			{Name: "nseg", T: kpl.I32},
+		},
+		Bufs: []kpl.BufDecl{
+			{Name: "in", Elem: kpl.F32, Access: kpl.AccessSeq, ReadOnly: true},
+			{Name: "out", Elem: kpl.F32, Access: kpl.AccessSeq},
+		},
+		Body: []kpl.Stmt{
+			ifP(0.95, lt(tid(), par("nseg")),
+				let("base", mul(tid(), par("seg"))),
+				let("acc", cf(0)),
+				forL("elems", "j", ci(0), par("seg"),
+					let("acc", add(lv("acc"), load("in", add(lv("base"), lv("j"))))),
+					store("out", add(lv("base"), lv("j")), lv("acc")),
+				),
+			),
+		},
+	},
+	Native: func(env *kpl.Env) error {
+		seg := int(env.Params["seg"].Int())
+		nseg := int(env.Params["nseg"].Int())
+		in, out := env.Bufs["in"].F32s, env.Bufs["out"].F32s
+		for t := 0; t < nseg && t < env.NThreads; t++ {
+			base := t * seg
+			var acc float32
+			for j := 0; j < seg; j++ {
+				acc += in[base+j]
+				out[base+j] = acc
+			}
+		}
+		return nil
+	},
+	MakeWorkload: func(scale int) *Workload {
+		seg := 64
+		nseg := 256 * scale
+		n := seg * nseg
+		r := newPRNG(23)
+		return &Workload{
+			Grid:  ceilDiv(nseg, 256),
+			Block: 256,
+			N:     n,
+			Params: map[string]kpl.Value{
+				"seg":  kpl.IntVal(int64(seg)),
+				"nseg": kpl.IntVal(int64(nseg)),
+			},
+			BufBytes: map[string]int{"in": 4 * n, "out": 4 * n},
+			Inputs: map[string][]byte{
+				"in": devmem.EncodeF32(r.f32Slice(n, 0, 1)),
+			},
+			OutBufs: []string{"out"},
+		}
+	},
+	Iterations:        10,
+	Coalescable:       true,
+	CopyEachIteration: true,
+})
+
+// ConvolutionTexture applies a non-separable 5×5 stencil (CUDA SDK
+// convolutionTexture): 25 clamped taps per pixel.
+var ConvolutionTexture = register(&Benchmark{
+	Name: "convolutionTexture",
+	Kernel: &kpl.Kernel{
+		Name: "convolutionTexture",
+		Params: []kpl.ParamDecl{
+			{Name: "w", T: kpl.I32},
+			{Name: "h", T: kpl.I32},
+		},
+		Bufs: []kpl.BufDecl{
+			{Name: "img", Elem: kpl.F32, Access: kpl.AccessSeq, L2Fraction: 0.08, ReadOnly: true},
+			{Name: "coef", Elem: kpl.F32, Access: kpl.AccessBroadcast, ReadOnly: true},
+			{Name: "out", Elem: kpl.F32, Access: kpl.AccessSeq},
+		},
+		Body: []kpl.Stmt{
+			pixelGuard(
+				let("acc", cf(0)),
+				forL("ky", "ky", ci(0), ci(5),
+					forL("kx", "kx", ci(0), ci(5),
+						let("xx", clampI(add(lv("x"), sub(lv("kx"), ci(2))), ci(0), sub(par("w"), ci(1)))),
+						let("yy", clampI(add(lv("y"), sub(lv("ky"), ci(2))), ci(0), sub(par("h"), ci(1)))),
+						let("acc", add(lv("acc"),
+							mul(load("coef", add(mul(lv("ky"), ci(5)), lv("kx"))),
+								load("img", add(mul(lv("yy"), par("w")), lv("xx")))))),
+					),
+				),
+				store("out", tid(), lv("acc")),
+			),
+		},
+	},
+	Native: func(env *kpl.Env) error {
+		w := int(env.Params["w"].Int())
+		h := int(env.Params["h"].Int())
+		img, coef, out := env.Bufs["img"].F32s, env.Bufs["coef"].F32s, env.Bufs["out"].F32s
+		for t := 0; t < w*h && t < env.NThreads; t++ {
+			x, y := t%w, t/w
+			var acc float32
+			for ky := 0; ky < 5; ky++ {
+				for kx := 0; kx < 5; kx++ {
+					xx := clampInt(x+kx-2, 0, w-1)
+					yy := clampInt(y+ky-2, 0, h-1)
+					acc += coef[ky*5+kx] * img[yy*w+xx]
+				}
+			}
+			out[t] = acc
+		}
+		return nil
+	},
+	MakeWorkload: func(scale int) *Workload {
+		coef := make([]float32, 25)
+		var sum float32
+		for i := range coef {
+			dx := float32(i%5 - 2)
+			dy := float32(i/5 - 2)
+			coef[i] = float32(math.Exp(float64(-(dx*dx + dy*dy) / 4)))
+			sum += coef[i]
+		}
+		for i := range coef {
+			coef[i] /= sum
+		}
+		return imageWorkload(24, 256, 16*scale,
+			map[string]int{"coef": 4 * 25},
+			map[string][]byte{"coef": devmem.EncodeF32(coef)},
+			nil, "out")
+	},
+	Iterations:  10,
+	Coalescable: true,
+})

@@ -1,0 +1,247 @@
+package kernels
+
+import (
+	"math"
+
+	"repro/internal/devmem"
+	"repro/internal/kpl"
+)
+
+// cndExpr builds the cumulative-normal-distribution polynomial approximation
+// used by the CUDA SDK BlackScholes kernel, as a kpl expression over the
+// local variable named d. It leaves the result in the local "cnd".
+func cndStmts() []kpl.Stmt {
+	return []kpl.Stmt{
+		let("ad", abs(lv("d"))),
+		let("kk", div(cf(1), add(cf(1), mul(cf(0.2316419), lv("ad"))))),
+		let("poly", mul(lv("kk"),
+			add(cf(0.31938153), mul(lv("kk"),
+				add(cf(-0.356563782), mul(lv("kk"),
+					add(cf(1.781477937), mul(lv("kk"),
+						add(cf(-1.821255978), mul(lv("kk"), cf(1.330274429))))))))))),
+		let("pdf", mul(cf(0.3989422804014327), expE(mul(cf(-0.5), mul(lv("d"), lv("d")))))),
+		let("cnd", sub(cf(1), mul(lv("pdf"), lv("poly")))),
+		ifS(lt(lv("d"), cf(0)), let("cnd", sub(cf(1), lv("cnd")))),
+	}
+}
+
+// cndNative mirrors cndStmts in float32 arithmetic.
+func cndNative(d float32) float32 {
+	ad := d
+	if ad < 0 {
+		ad = -ad
+	}
+	k := float32(1) / (1 + 0.2316419*ad)
+	poly := k * (0.31938153 + k*(-0.356563782+k*(1.781477937+k*(-1.821255978+k*1.330274429))))
+	pdf := float32(0.3989422804014327) * float32(math.Exp(float64(float32(-0.5)*(d*d))))
+	cnd := 1 - pdf*poly
+	if d < 0 {
+		cnd = 1 - cnd
+	}
+	return cnd
+}
+
+// BlackScholes prices European options (CUDA SDK BlackScholes): the
+// FP32-intrinsic-heavy workload with the paper's highest speedups
+// (2045× plain, 6304× optimized).
+var BlackScholes = register(&Benchmark{
+	Name: "BlackScholes",
+	Kernel: &kpl.Kernel{
+		Name: "BlackScholes",
+		Params: []kpl.ParamDecl{
+			{Name: "n", T: kpl.I32},
+			{Name: "r", T: kpl.F32},
+			{Name: "vol", T: kpl.F32},
+		},
+		Bufs: []kpl.BufDecl{
+			{Name: "price", Elem: kpl.F32, Access: kpl.AccessSeq, ReadOnly: true},
+			{Name: "strike", Elem: kpl.F32, Access: kpl.AccessSeq, ReadOnly: true},
+			{Name: "years", Elem: kpl.F32, Access: kpl.AccessSeq, ReadOnly: true},
+			{Name: "call", Elem: kpl.F32, Access: kpl.AccessSeq},
+			{Name: "put", Elem: kpl.F32, Access: kpl.AccessSeq},
+		},
+		Body: []kpl.Stmt{
+			forL("opts", "j", ci(0), eptExpr(par("n")),
+				let("i", gsIndex("j")),
+				ifP(0.95, lt(lv("i"), par("n")),
+					let("s", load("price", lv("i"))),
+					let("x", load("strike", lv("i"))),
+					let("t", load("years", lv("i"))),
+					let("sqrtT", sqrtE(lv("t"))),
+					let("d", div(
+						add(logE(div(lv("s"), lv("x"))),
+							mul(add(par("r"), mul(cf(0.5), mul(par("vol"), par("vol")))), lv("t"))),
+						mul(par("vol"), lv("sqrtT")))),
+					let("d1", lv("d")),
+				),
+			),
+		},
+	},
+	// The full body continues below via buildBlackScholes (kept separate so
+	// the CND polynomial is shared between d1 and d2).
+	Iterations:  10,
+	Coalescable: true,
+	MakeWorkload: func(scale int) *Workload {
+		n := 8192 * scale
+		r := newPRNG(10)
+		return &Workload{
+			Grid:  ceilDiv(n, 256),
+			Block: 256,
+			N:     n,
+			Params: map[string]kpl.Value{
+				"n":   kpl.IntVal(int64(n)),
+				"r":   kpl.F32Val(0.02),
+				"vol": kpl.F32Val(0.30),
+			},
+			BufBytes: map[string]int{
+				"price": 4 * n, "strike": 4 * n, "years": 4 * n,
+				"call": 4 * n, "put": 4 * n,
+			},
+			Inputs: map[string][]byte{
+				"price":  devmem.EncodeF32(r.f32Slice(n, 5, 30)),
+				"strike": devmem.EncodeF32(r.f32Slice(n, 1, 100)),
+				"years":  devmem.EncodeF32(r.f32Slice(n, 0.25, 10)),
+			},
+			OutBufs: []string{"call", "put"},
+		}
+	},
+	Native: func(env *kpl.Env) error {
+		n := int(env.Params["n"].Int())
+		rr := float32(env.Params["r"].Float())
+		vol := float32(env.Params["vol"].Float())
+		price := env.Bufs["price"].F32s
+		strike := env.Bufs["strike"].F32s
+		years := env.Bufs["years"].F32s
+		call := env.Bufs["call"].F32s
+		put := env.Bufs["put"].F32s
+		for i := 0; i < n; i++ {
+			s, x, t := price[i], strike[i], years[i]
+			sqrtT := float32(math.Sqrt(float64(t)))
+			d1 := (float32(math.Log(float64(s/x))) + (rr+0.5*vol*vol)*t) / (vol * sqrtT)
+			d2 := d1 - vol*sqrtT
+			cnd1 := cndNative(d1)
+			cnd2 := cndNative(d2)
+			expRT := float32(math.Exp(float64(-rr * t)))
+			call[i] = s*cnd1 - x*expRT*cnd2
+			put[i] = x*expRT*(1-cnd2) - s*(1-cnd1)
+		}
+		return nil
+	},
+})
+
+func init() {
+	// Replace the placeholder body of the BlackScholes kernel with the full
+	// pipeline: d1/d2, two CND evaluations, call and put prices.
+	inner := []kpl.Stmt{
+		let("s", load("price", lv("i"))),
+		let("x", load("strike", lv("i"))),
+		let("t", load("years", lv("i"))),
+		let("sqrtT", sqrtE(lv("t"))),
+		let("d1", div(
+			add(logE(div(lv("s"), lv("x"))),
+				mul(add(par("r"), mul(cf(0.5), mul(par("vol"), par("vol")))), lv("t"))),
+			mul(par("vol"), lv("sqrtT")))),
+		let("d2", sub(lv("d1"), mul(par("vol"), lv("sqrtT")))),
+		let("d", lv("d1")),
+	}
+	inner = append(inner, cndStmts()...)
+	inner = append(inner, let("cnd1", lv("cnd")), let("d", lv("d2")))
+	inner = append(inner, cndStmts()...)
+	inner = append(inner,
+		let("cnd2", lv("cnd")),
+		let("expRT", expE(mul(neg(par("r")), lv("t")))),
+		store("call", lv("i"), sub(mul(lv("s"), lv("cnd1")), mul(mul(lv("x"), lv("expRT")), lv("cnd2")))),
+		store("put", lv("i"),
+			sub(mul(mul(lv("x"), lv("expRT")), sub(cf(1), lv("cnd2"))),
+				mul(lv("s"), sub(cf(1), lv("cnd1"))))),
+	)
+	BlackScholes.Kernel.Body = []kpl.Stmt{
+		forL("opts", "j", ci(0), eptExpr(par("n")),
+			let("i", gsIndex("j")),
+			ifP(0.95, lt(lv("i"), par("n")), inner...),
+		),
+	}
+	reanalyze(BlackScholes)
+}
+
+// MonteCarlo prices an option by simulated paths with an in-kernel LCG
+// (CUDA SDK MonteCarlo). Reads its option batch from a file in the SDK
+// (non-CUDA time); per-thread private RNG state makes its memory management
+// coalescing-unfriendly (paper Section 5).
+var MonteCarlo = register(&Benchmark{
+	Name: "MonteCarlo",
+	Kernel: &kpl.Kernel{
+		Name: "MonteCarlo",
+		Params: []kpl.ParamDecl{
+			{Name: "n", T: kpl.I32},
+			{Name: "paths", T: kpl.I32},
+			{Name: "k", T: kpl.F32},
+		},
+		Bufs: []kpl.BufDecl{
+			{Name: "spot", Elem: kpl.F32, Access: kpl.AccessSeq, ReadOnly: true},
+			{Name: "out", Elem: kpl.F32, Access: kpl.AccessSeq},
+		},
+		Body: []kpl.Stmt{
+			ifP(0.95, lt(tid(), par("n")),
+				let("s", load("spot", tid())),
+				let("seed", add(mul(tid(), ci(1103515245)), ci(12345))),
+				let("acc", cf(0)),
+				forL("paths", "pp", ci(0), par("paths"),
+					let("seed", add(mul(lv("seed"), ci(1664525)), ci(1013904223))),
+					let("u", div(toF32(andE(lv("seed"), ci(0x7FFFFF))), cf(8388608))),
+					let("z", mul(sub(lv("u"), cf(0.5)), cf(3.46))),
+					let("st", mul(lv("s"), expE(add(cf(-0.045), mul(cf(0.3), lv("z")))))),
+					let("pay", maxE(sub(lv("st"), par("k")), cf(0))),
+					let("acc", add(lv("acc"), lv("pay"))),
+				),
+				store("out", tid(), div(lv("acc"), toF32(par("paths")))),
+			),
+		},
+	},
+	Native: func(env *kpl.Env) error {
+		n := int(env.Params["n"].Int())
+		paths := int(env.Params["paths"].Int())
+		k := float32(env.Params["k"].Float())
+		spot, out := env.Bufs["spot"].F32s, env.Bufs["out"].F32s
+		for t := 0; t < n && t < env.NThreads; t++ {
+			s := spot[t]
+			seed := int32(t)*1103515245 + 12345
+			var acc float32
+			for p := 0; p < paths; p++ {
+				seed = seed*1664525 + 1013904223
+				u := float32(seed&0x7FFFFF) / 8388608
+				z := (u - 0.5) * 3.46
+				st := s * float32(math.Exp(float64(float32(-0.045)+float32(0.3)*z)))
+				pay := st - k
+				if pay < 0 {
+					pay = 0
+				}
+				acc += pay
+			}
+			out[t] = acc / float32(paths)
+		}
+		return nil
+	},
+	MakeWorkload: func(scale int) *Workload {
+		n := 1024 * scale
+		r := newPRNG(11)
+		return &Workload{
+			Grid:  ceilDiv(n, 256),
+			Block: 256,
+			N:     n,
+			Params: map[string]kpl.Value{
+				"n":     kpl.IntVal(int64(n)),
+				"paths": kpl.IntVal(64),
+				"k":     kpl.F32Val(25),
+			},
+			BufBytes: map[string]int{"spot": 4 * n, "out": 4 * n},
+			Inputs: map[string][]byte{
+				"spot": devmem.EncodeF32(r.f32Slice(n, 10, 50)),
+			},
+			OutBufs: []string{"out"},
+		}
+	},
+	Iterations:       10,
+	NonCUDAVPSeconds: 0.00010, // option batches read from files
+	Coalescable:      false,
+})

@@ -1,0 +1,492 @@
+package kernels
+
+import (
+	"math"
+
+	"repro/internal/devmem"
+	"repro/internal/kpl"
+)
+
+// Mandelbrot iterates the escape recurrence per pixel (CUDA SDK Mandelbrot):
+// the canonical data-dependent-λ kernel — its trip counts come from dynamic
+// sampling (paper footnote 2). File/GL output in the SDK.
+var Mandelbrot = register(&Benchmark{
+	Name: "Mandelbrot",
+	Kernel: &kpl.Kernel{
+		Name: "Mandelbrot",
+		Params: []kpl.ParamDecl{
+			{Name: "w", T: kpl.I32},
+			{Name: "h", T: kpl.I32},
+			{Name: "maxIter", T: kpl.I32},
+		},
+		Bufs: []kpl.BufDecl{
+			{Name: "out", Elem: kpl.I32, Access: kpl.AccessSeq},
+		},
+		Body: []kpl.Stmt{
+			pixelGuard(
+				let("cx", sub(mul(div(toF32(lv("x")), toF32(par("w"))), cf(3.0)), cf(2.2))),
+				let("cy", sub(mul(div(toF32(lv("y")), toF32(par("h"))), cf(2.4)), cf(1.2))),
+				let("zx", cf(0)),
+				let("zy", cf(0)),
+				let("cnt", ci(0)),
+				forL("escape", "it", ci(0), par("maxIter"),
+					let("zx2", mul(lv("zx"), lv("zx"))),
+					let("zy2", mul(lv("zy"), lv("zy"))),
+					ifS(gt(add(lv("zx2"), lv("zy2")), cf(4)), brk()),
+					let("nzx", add(sub(lv("zx2"), lv("zy2")), lv("cx"))),
+					let("zy", add(mul(cf(2), mul(lv("zx"), lv("zy"))), lv("cy"))),
+					let("zx", lv("nzx")),
+					let("cnt", add(lv("cnt"), ci(1))),
+				),
+				store("out", tid(), lv("cnt")),
+			),
+		},
+	},
+	Native: func(env *kpl.Env) error {
+		w := int(env.Params["w"].Int())
+		h := int(env.Params["h"].Int())
+		maxIter := int(env.Params["maxIter"].Int())
+		out := env.Bufs["out"].I32s
+		for t := 0; t < w*h && t < env.NThreads; t++ {
+			x, y := t%w, t/w
+			cx := float32(x)/float32(w)*3.0 - 2.2
+			cy := float32(y)/float32(h)*2.4 - 1.2
+			var zx, zy float32
+			var cnt int32
+			for it := 0; it < maxIter; it++ {
+				zx2, zy2 := zx*zx, zy*zy
+				if zx2+zy2 > 4 {
+					break
+				}
+				zx, zy = zx2-zy2+cx, 2*zx*zy+cy
+				cnt++
+			}
+			out[t] = cnt
+		}
+		return nil
+	},
+	MakeWorkload: func(scale int) *Workload {
+		w, h := 256, 16*scale
+		n := w * h
+		return &Workload{
+			Grid:  ceilDiv(n, 256),
+			Block: 256,
+			N:     n,
+			Params: map[string]kpl.Value{
+				"w":       kpl.IntVal(int64(w)),
+				"h":       kpl.IntVal(int64(h)),
+				"maxIter": kpl.IntVal(128),
+			},
+			BufBytes: map[string]int{"out": 4 * n},
+			Inputs:   map[string][]byte{},
+			OutBufs:  []string{"out"},
+		}
+	},
+	Iterations:       10,
+	NonCUDAVPSeconds: 0.00015, // writes result images to files
+	Coalescable:      true,
+})
+
+// SimpleGL displaces a vertex mesh by a travelling sine wave (CUDA SDK
+// simpleGL). Almost all of the application's time is OpenGL rendering, which
+// ΣVP does not accelerate — the paper's motivating example (62 s emulated,
+// 1428×/4104× speedups).
+var SimpleGL = register(&Benchmark{
+	Name: "simpleGL",
+	Kernel: &kpl.Kernel{
+		Name: "simpleGL",
+		Params: []kpl.ParamDecl{
+			{Name: "w", T: kpl.I32},
+			{Name: "h", T: kpl.I32},
+			{Name: "time", T: kpl.F32},
+		},
+		Bufs: []kpl.BufDecl{
+			{Name: "pos", Elem: kpl.F32, Access: kpl.AccessSeq},
+		},
+		Body: []kpl.Stmt{
+			pixelGuard(
+				let("u", sub(mul(div(toF32(lv("x")), toF32(par("w"))), cf(2)), cf(1))),
+				let("v", sub(mul(div(toF32(lv("y")), toF32(par("h"))), cf(2)), cf(1))),
+				let("freq", cf(4)),
+				store("pos", tid(), mul(
+					mul(sinE(add(mul(lv("u"), lv("freq")), par("time"))),
+						cosE(add(mul(lv("v"), lv("freq")), par("time")))),
+					cf(0.5))),
+			),
+		},
+	},
+	Native: func(env *kpl.Env) error {
+		w := int(env.Params["w"].Int())
+		h := int(env.Params["h"].Int())
+		tm := float32(env.Params["time"].Float())
+		pos := env.Bufs["pos"].F32s
+		for t := 0; t < w*h && t < env.NThreads; t++ {
+			x, y := t%w, t/w
+			u := float32(x)/float32(w)*2 - 1
+			v := float32(y)/float32(h)*2 - 1
+			const freq = float32(4)
+			su := float32(math.Sin(float64(u*freq + tm)))
+			cv := float32(math.Cos(float64(v*freq + tm)))
+			pos[t] = su * cv * 0.5
+		}
+		return nil
+	},
+	MakeWorkload: func(scale int) *Workload {
+		w, h := 256, 16*scale
+		n := w * h
+		return &Workload{
+			Grid:  ceilDiv(n, 256),
+			Block: 256,
+			N:     n,
+			Params: map[string]kpl.Value{
+				"w":    kpl.IntVal(int64(w)),
+				"h":    kpl.IntVal(int64(h)),
+				"time": kpl.F32Val(1.5),
+			},
+			BufBytes: map[string]int{"pos": 4 * n},
+			Inputs:   map[string][]byte{},
+			OutBufs:  []string{"pos"},
+		}
+	},
+	Iterations:       12,
+	NonCUDAVPSeconds: 0.00035, // Mesa-emulated OpenGL rendering dominates
+	Coalescable:      true,
+})
+
+// MarchingCubes classifies voxels of an implicit field (CUDA SDK
+// marchingCubes, classifyVoxel stage): 8 corner samples → cube index.
+var MarchingCubes = register(&Benchmark{
+	Name: "marchingCubes",
+	Kernel: &kpl.Kernel{
+		Name: "marchingCubes",
+		Params: []kpl.ParamDecl{
+			{Name: "dim", T: kpl.I32}, // voxels per axis
+			{Name: "iso", T: kpl.F32},
+		},
+		Bufs: []kpl.BufDecl{
+			{Name: "idx", Elem: kpl.I32, Access: kpl.AccessSeq},
+		},
+		Body: []kpl.Stmt{
+			let("n", mul(par("dim"), mul(par("dim"), par("dim")))),
+			ifP(0.95, lt(tid(), lv("n")),
+				let("x", mod(tid(), par("dim"))),
+				let("y", mod(div(tid(), par("dim")), par("dim"))),
+				let("z", div(tid(), mul(par("dim"), par("dim")))),
+				let("cube", ci(0)),
+				forL("corners", "c", ci(0), ci(8),
+					let("fx", toF32(add(lv("x"), andE(lv("c"), ci(1))))),
+					let("fy", toF32(add(lv("y"), andE(shrE(lv("c"), ci(1)), ci(1))))),
+					let("fz", toF32(add(lv("z"), andE(shrE(lv("c"), ci(2)), ci(1))))),
+					let("cx", sub(div(lv("fx"), toF32(par("dim"))), cf(0.5))),
+					let("cy", sub(div(lv("fy"), toF32(par("dim"))), cf(0.5))),
+					let("cz", sub(div(lv("fz"), toF32(par("dim"))), cf(0.5))),
+					let("field", add(add(mul(lv("cx"), lv("cx")), mul(lv("cy"), lv("cy"))), mul(lv("cz"), lv("cz")))),
+					ifS(lt(lv("field"), par("iso")),
+						let("cube", kpl.Or(lv("cube"), shlE(ci(1), lv("c")))),
+					),
+				),
+				store("idx", tid(), lv("cube")),
+			),
+		},
+	},
+	Native: func(env *kpl.Env) error {
+		dim := int(env.Params["dim"].Int())
+		iso := float32(env.Params["iso"].Float())
+		idx := env.Bufs["idx"].I32s
+		n := dim * dim * dim
+		for t := 0; t < n && t < env.NThreads; t++ {
+			x := t % dim
+			y := (t / dim) % dim
+			z := t / (dim * dim)
+			var cube int32
+			for c := 0; c < 8; c++ {
+				fx := float32(x + (c & 1))
+				fy := float32(y + ((c >> 1) & 1))
+				fz := float32(z + ((c >> 2) & 1))
+				cx := fx/float32(dim) - 0.5
+				cy := fy/float32(dim) - 0.5
+				cz := fz/float32(dim) - 0.5
+				field := (cx*cx + cy*cy) + cz*cz
+				if field < iso {
+					cube |= 1 << c
+				}
+			}
+			idx[t] = cube
+		}
+		return nil
+	},
+	MakeWorkload: func(scale int) *Workload {
+		dim := 16 * isqrt3(scale)
+		n := dim * dim * dim
+		return &Workload{
+			Grid:  ceilDiv(n, 256),
+			Block: 256,
+			N:     n,
+			Params: map[string]kpl.Value{
+				"dim": kpl.IntVal(int64(dim)),
+				"iso": kpl.F32Val(0.16),
+			},
+			BufBytes: map[string]int{"idx": 4 * n},
+			Inputs:   map[string][]byte{},
+			OutBufs:  []string{"idx"},
+		}
+	},
+	Iterations:       10,
+	NonCUDAVPSeconds: 0.00030, // OpenGL isosurface rendering
+	Coalescable:      true,
+})
+
+// VolumeFiltering applies a 7-point 3D box filter (CUDA SDK
+// volumeFiltering). FP-light relative to its memory traffic — one of the
+// lower-speedup kernels; OpenGL volume rendering in the SDK.
+var VolumeFiltering = register(&Benchmark{
+	Name: "VolumeFiltering",
+	Kernel: &kpl.Kernel{
+		Name: "VolumeFiltering",
+		Params: []kpl.ParamDecl{
+			{Name: "dim", T: kpl.I32},
+		},
+		Bufs: []kpl.BufDecl{
+			{Name: "vol", Elem: kpl.F32, Access: kpl.AccessSeq, L2Fraction: 0.3, ReadOnly: true},
+			{Name: "out", Elem: kpl.F32, Access: kpl.AccessSeq},
+		},
+		Body: []kpl.Stmt{
+			let("n", mul(par("dim"), mul(par("dim"), par("dim")))),
+			ifP(0.95, lt(tid(), lv("n")),
+				let("x", mod(tid(), par("dim"))),
+				let("y", mod(div(tid(), par("dim")), par("dim"))),
+				let("z", div(tid(), mul(par("dim"), par("dim")))),
+				let("d1", sub(par("dim"), ci(1))),
+				let("acc", load("vol", tid())),
+				let("acc", add(lv("acc"), volAt(-1, 0, 0))),
+				let("acc", add(lv("acc"), volAt(1, 0, 0))),
+				let("acc", add(lv("acc"), volAt(0, -1, 0))),
+				let("acc", add(lv("acc"), volAt(0, 1, 0))),
+				let("acc", add(lv("acc"), volAt(0, 0, -1))),
+				let("acc", add(lv("acc"), volAt(0, 0, 1))),
+				store("out", tid(), div(lv("acc"), cf(7))),
+			),
+		},
+	},
+	Native: func(env *kpl.Env) error {
+		dim := int(env.Params["dim"].Int())
+		vol, out := env.Bufs["vol"].F32s, env.Bufs["out"].F32s
+		n := dim * dim * dim
+		at := func(x, y, z int) float32 {
+			return vol[clampInt(z, 0, dim-1)*dim*dim+clampInt(y, 0, dim-1)*dim+clampInt(x, 0, dim-1)]
+		}
+		for t := 0; t < n && t < env.NThreads; t++ {
+			x := t % dim
+			y := (t / dim) % dim
+			z := t / (dim * dim)
+			acc := vol[t]
+			acc += at(x-1, y, z)
+			acc += at(x+1, y, z)
+			acc += at(x, y-1, z)
+			acc += at(x, y+1, z)
+			acc += at(x, y, z-1)
+			acc += at(x, y, z+1)
+			out[t] = acc / 7
+		}
+		return nil
+	},
+	MakeWorkload: func(scale int) *Workload {
+		dim := 16 * isqrt3(scale)
+		n := dim * dim * dim
+		r := newPRNG(17)
+		return &Workload{
+			Grid:  ceilDiv(n, 256),
+			Block: 256,
+			N:     n,
+			Params: map[string]kpl.Value{
+				"dim": kpl.IntVal(int64(dim)),
+			},
+			BufBytes: map[string]int{"vol": 4 * n, "out": 4 * n},
+			Inputs: map[string][]byte{
+				"vol": devmem.EncodeF32(r.f32Slice(n, 0, 1)),
+			},
+			OutBufs: []string{"out"},
+		}
+	},
+	Iterations:       10,
+	NonCUDAVPSeconds: 0.00025, // OpenGL volume rendering
+	Coalescable:      true,
+})
+
+// volAt builds the clamped 3D neighbour load for VolumeFiltering (expects
+// locals x, y, z, d1).
+func volAt(dx, dy, dz int64) kpl.Expr {
+	xx := clampI(add(lv("x"), ci(dx)), ci(0), lv("d1"))
+	yy := clampI(add(lv("y"), ci(dy)), ci(0), lv("d1"))
+	zz := clampI(add(lv("z"), ci(dz)), ci(0), lv("d1"))
+	return load("vol", add(mul(zz, mul(par("dim"), par("dim"))), add(mul(yy, par("dim")), xx)))
+}
+
+// NBody integrates gravitational accelerations over all bodies (CUDA SDK
+// nbody): rsqrt-heavy O(N) loop per body. OpenGL display; the all-pairs
+// shared-memory staging defeats coalescing (paper Section 5).
+var NBody = register(&Benchmark{
+	Name: "nbody",
+	Kernel: &kpl.Kernel{
+		Name: "nbody",
+		Params: []kpl.ParamDecl{
+			{Name: "n", T: kpl.I32},
+			{Name: "dt", T: kpl.F32},
+		},
+		Bufs: []kpl.BufDecl{
+			{Name: "px", Elem: kpl.F32, Access: kpl.AccessBroadcast, ReadOnly: true},
+			{Name: "py", Elem: kpl.F32, Access: kpl.AccessBroadcast, ReadOnly: true},
+			{Name: "vx", Elem: kpl.F32, Access: kpl.AccessSeq},
+			{Name: "vy", Elem: kpl.F32, Access: kpl.AccessSeq},
+		},
+		Body: []kpl.Stmt{
+			ifP(0.95, lt(tid(), par("n")),
+				let("myx", load("px", tid())),
+				let("myy", load("py", tid())),
+				let("ax", cf(0)),
+				let("ay", cf(0)),
+				forL("pairs", "j", ci(0), par("n"),
+					let("dx", sub(load("px", lv("j")), lv("myx"))),
+					let("dy", sub(load("py", lv("j")), lv("myy"))),
+					let("r2", add(add(mul(lv("dx"), lv("dx")), mul(lv("dy"), lv("dy"))), cf(0.01))),
+					let("inv", rsqrtE(lv("r2"))),
+					let("inv3", mul(lv("inv"), mul(lv("inv"), lv("inv")))),
+					let("ax", add(lv("ax"), mul(lv("dx"), lv("inv3")))),
+					let("ay", add(lv("ay"), mul(lv("dy"), lv("inv3")))),
+				),
+				store("vx", tid(), add(load("vx", tid()), mul(lv("ax"), par("dt")))),
+				store("vy", tid(), add(load("vy", tid()), mul(lv("ay"), par("dt")))),
+			),
+		},
+	},
+	Native: func(env *kpl.Env) error {
+		n := int(env.Params["n"].Int())
+		dt := float32(env.Params["dt"].Float())
+		px, py := env.Bufs["px"].F32s, env.Bufs["py"].F32s
+		vx, vy := env.Bufs["vx"].F32s, env.Bufs["vy"].F32s
+		for t := 0; t < n && t < env.NThreads; t++ {
+			myx, myy := px[t], py[t]
+			var ax, ay float32
+			for j := 0; j < n; j++ {
+				dx := px[j] - myx
+				dy := py[j] - myy
+				r2 := (dx*dx + dy*dy) + 0.01
+				inv := float32(1 / math.Sqrt(float64(r2)))
+				inv3 := inv * (inv * inv)
+				ax += dx * inv3
+				ay += dy * inv3
+			}
+			vx[t] += ax * dt
+			vy[t] += ay * dt
+		}
+		return nil
+	},
+	MakeWorkload: func(scale int) *Workload {
+		n := 256 * scale
+		r := newPRNG(18)
+		return &Workload{
+			Grid:  ceilDiv(n, 256),
+			Block: 256,
+			N:     n,
+			Params: map[string]kpl.Value{
+				"n":  kpl.IntVal(int64(n)),
+				"dt": kpl.F32Val(0.01),
+			},
+			BufBytes: map[string]int{"px": 4 * n, "py": 4 * n, "vx": 4 * n, "vy": 4 * n},
+			Inputs: map[string][]byte{
+				"px": devmem.EncodeF32(r.f32Slice(n, -1, 1)),
+				"py": devmem.EncodeF32(r.f32Slice(n, -1, 1)),
+				"vx": devmem.EncodeF32(r.f32Slice(n, -0.1, 0.1)),
+				"vy": devmem.EncodeF32(r.f32Slice(n, -0.1, 0.1)),
+			},
+			OutBufs: []string{"vx", "vy"},
+		}
+	},
+	Iterations:       12,
+	NonCUDAVPSeconds: 0.00020, // OpenGL particle display
+	Coalescable:      false,
+})
+
+// SmokeParticles advects particles through a procedural turbulence field
+// (CUDA SDK smokeParticles). OpenGL-bound; per-particle sorted buckets make
+// it coalescing-unfriendly (paper Section 5).
+var SmokeParticles = register(&Benchmark{
+	Name: "smokeParticles",
+	Kernel: &kpl.Kernel{
+		Name: "smokeParticles",
+		Params: []kpl.ParamDecl{
+			{Name: "n", T: kpl.I32},
+			{Name: "dt", T: kpl.F32},
+		},
+		Bufs: []kpl.BufDecl{
+			{Name: "px", Elem: kpl.F32, Access: kpl.AccessSeq},
+			{Name: "py", Elem: kpl.F32, Access: kpl.AccessSeq},
+		},
+		Body: []kpl.Stmt{
+			ifP(0.95, lt(tid(), par("n")),
+				let("x", load("px", tid())),
+				let("y", load("py", tid())),
+				forL("steps", "s", ci(0), ci(4),
+					let("ux", mul(sinE(mul(lv("y"), cf(3.1))), cosE(mul(lv("x"), cf(1.7))))),
+					let("uy", mul(cosE(mul(lv("x"), cf(2.3))), sinE(mul(lv("y"), cf(1.3))))),
+					let("x", add(lv("x"), mul(lv("ux"), par("dt")))),
+					let("y", add(lv("y"), mul(lv("uy"), par("dt")))),
+				),
+				store("px", tid(), lv("x")),
+				store("py", tid(), lv("y")),
+			),
+		},
+	},
+	Native: func(env *kpl.Env) error {
+		n := int(env.Params["n"].Int())
+		dt := float32(env.Params["dt"].Float())
+		px, py := env.Bufs["px"].F32s, env.Bufs["py"].F32s
+		for t := 0; t < n && t < env.NThreads; t++ {
+			x, y := px[t], py[t]
+			for s := 0; s < 4; s++ {
+				ux := float32(math.Sin(float64(y*3.1))) * float32(math.Cos(float64(x*1.7)))
+				uy := float32(math.Cos(float64(x*2.3))) * float32(math.Sin(float64(y*1.3)))
+				x += ux * dt
+				y += uy * dt
+			}
+			px[t] = x
+			py[t] = y
+		}
+		return nil
+	},
+	MakeWorkload: func(scale int) *Workload {
+		n := 4096 * scale
+		r := newPRNG(19)
+		return &Workload{
+			Grid:  ceilDiv(n, 256),
+			Block: 256,
+			N:     n,
+			Params: map[string]kpl.Value{
+				"n":  kpl.IntVal(int64(n)),
+				"dt": kpl.F32Val(0.02),
+			},
+			BufBytes: map[string]int{"px": 4 * n, "py": 4 * n},
+			Inputs: map[string][]byte{
+				"px": devmem.EncodeF32(r.f32Slice(n, -1, 1)),
+				"py": devmem.EncodeF32(r.f32Slice(n, -1, 1)),
+			},
+			OutBufs: []string{"px", "py"},
+		}
+	},
+	Iterations:       12,
+	NonCUDAVPSeconds: 0.00030, // OpenGL smoke rendering
+	Coalescable:      false,
+})
+
+// isqrt3 returns ⌈scale^(1/3)⌉ so 3D workloads grow roughly linearly in
+// total work with scale.
+func isqrt3(scale int) int {
+	if scale <= 1 {
+		return 1
+	}
+	c := int(math.Cbrt(float64(scale)))
+	for c*c*c < scale {
+		c++
+	}
+	return c
+}

@@ -1,0 +1,376 @@
+package kernels
+
+import (
+	"math"
+
+	"repro/internal/devmem"
+	"repro/internal/kpl"
+)
+
+// imageWorkload builds a w×h float32 image instance shared by the imaging
+// kernels.
+func imageWorkload(seed uint32, w, h int, extraBufs map[string]int, extraIn map[string][]byte, params map[string]kpl.Value, out string) *Workload {
+	n := w * h
+	r := newPRNG(seed)
+	bufs := map[string]int{"img": 4 * n, out: 4 * n}
+	for k, v := range extraBufs {
+		bufs[k] = v
+	}
+	inputs := map[string][]byte{"img": devmem.EncodeF32(r.f32Slice(n, 0, 255))}
+	for k, v := range extraIn {
+		inputs[k] = v
+	}
+	if params == nil {
+		params = map[string]kpl.Value{}
+	}
+	params["w"] = kpl.IntVal(int64(w))
+	params["h"] = kpl.IntVal(int64(h))
+	return &Workload{
+		Grid:     ceilDiv(n, 256),
+		Block:    256,
+		N:        n,
+		Params:   params,
+		BufBytes: bufs,
+		Inputs:   inputs,
+		OutBufs:  []string{out},
+	}
+}
+
+// pixelXY emits statements computing x, y and the in-range guard for image
+// kernels; body runs only for tid < w·h.
+func pixelGuard(body ...kpl.Stmt) kpl.Stmt {
+	pre := []kpl.Stmt{
+		let("x", mod(tid(), par("w"))),
+		let("y", div(tid(), par("w"))),
+	}
+	return ifP(0.95, lt(tid(), mul(par("w"), par("h"))), append(pre, body...)...)
+}
+
+// clampPixel builds the clamped image index load at (x+dx, y+dy).
+func clampPixel(buf string, dx, dy int64) kpl.Expr {
+	xx := clampI(add(lv("x"), ci(dx)), ci(0), sub(par("w"), ci(1)))
+	yy := clampI(add(lv("y"), ci(dy)), ci(0), sub(par("h"), ci(1)))
+	return load(buf, add(mul(yy, par("w")), xx))
+}
+
+// pixAt is the native counterpart of clampPixel.
+func pixAt(img []float32, w, h, x, y int) float32 {
+	return img[clampInt(y, 0, h-1)*w+clampInt(x, 0, w-1)]
+}
+
+// SobelFilter computes the Sobel gradient magnitude (CUDA SDK SobelFilter):
+// 9 clamped neighbour loads per pixel; OpenGL display in the SDK. The paper
+// lists it among the kernels not improved by the optimizations and the
+// lowest optimized speedup (1098×).
+var SobelFilter = register(&Benchmark{
+	Name: "SobelFilter",
+	Kernel: &kpl.Kernel{
+		Name: "SobelFilter",
+		Params: []kpl.ParamDecl{
+			{Name: "w", T: kpl.I32},
+			{Name: "h", T: kpl.I32},
+		},
+		Bufs: []kpl.BufDecl{
+			{Name: "img", Elem: kpl.F32, Access: kpl.AccessSeq, L2Fraction: 0.2, ReadOnly: true},
+			{Name: "out", Elem: kpl.F32, Access: kpl.AccessSeq},
+		},
+		Body: []kpl.Stmt{
+			pixelGuard(
+				let("gx", add(
+					add(sub(clampPixel("img", 1, -1), clampPixel("img", -1, -1)),
+						mul(cf(2), sub(clampPixel("img", 1, 0), clampPixel("img", -1, 0)))),
+					sub(clampPixel("img", 1, 1), clampPixel("img", -1, 1)))),
+				let("gy", add(
+					add(sub(clampPixel("img", -1, 1), clampPixel("img", -1, -1)),
+						mul(cf(2), sub(clampPixel("img", 0, 1), clampPixel("img", 0, -1)))),
+					sub(clampPixel("img", 1, 1), clampPixel("img", 1, -1)))),
+				store("out", tid(), minE(cf(255),
+					sqrtE(add(mul(lv("gx"), lv("gx")), mul(lv("gy"), lv("gy")))))),
+			),
+		},
+	},
+	Native: func(env *kpl.Env) error {
+		w := int(env.Params["w"].Int())
+		h := int(env.Params["h"].Int())
+		img, out := env.Bufs["img"].F32s, env.Bufs["out"].F32s
+		for t := 0; t < w*h && t < env.NThreads; t++ {
+			x, y := t%w, t/w
+			gx := (pixAt(img, w, h, x+1, y-1) - pixAt(img, w, h, x-1, y-1)) +
+				2*(pixAt(img, w, h, x+1, y)-pixAt(img, w, h, x-1, y)) +
+				(pixAt(img, w, h, x+1, y+1) - pixAt(img, w, h, x-1, y+1))
+			gy := (pixAt(img, w, h, x-1, y+1) - pixAt(img, w, h, x-1, y-1)) +
+				2*(pixAt(img, w, h, x, y+1)-pixAt(img, w, h, x, y-1)) +
+				(pixAt(img, w, h, x+1, y+1) - pixAt(img, w, h, x+1, y-1))
+			m := float32(math.Sqrt(float64(gx*gx + gy*gy)))
+			if m > 255 {
+				m = 255
+			}
+			out[t] = m
+		}
+		return nil
+	},
+	MakeWorkload: func(scale int) *Workload {
+		return imageWorkload(12, 256, 16*scale, nil, nil, nil, "out")
+	},
+	Iterations:       10,
+	NonCUDAVPSeconds: 0.00025, // OpenGL display path through Mesa
+	Coalescable:      false,
+})
+
+// DCT8x8 computes the 2D 8×8 discrete cosine transform per block (CUDA SDK
+// dct8x8): one thread per output coefficient, a 64-tap cosine sum. Listed
+// among the coalescing-unfriendly kernels.
+var DCT8x8 = register(&Benchmark{
+	Name: "dct8x8",
+	Kernel: &kpl.Kernel{
+		Name: "dct8x8",
+		Params: []kpl.ParamDecl{
+			{Name: "w", T: kpl.I32},
+			{Name: "h", T: kpl.I32},
+		},
+		Bufs: []kpl.BufDecl{
+			{Name: "img", Elem: kpl.F32, Access: kpl.AccessSeq, L2Fraction: 0.125, ReadOnly: true},
+			{Name: "out", Elem: kpl.F32, Access: kpl.AccessSeq},
+		},
+		Body: []kpl.Stmt{
+			pixelGuard(
+				let("u", mod(lv("x"), ci(8))),
+				let("v", mod(lv("y"), ci(8))),
+				let("bx", sub(lv("x"), lv("u"))),
+				let("by", sub(lv("y"), lv("v"))),
+				let("acc", cf(0)),
+				forL("dctY", "yy", ci(0), ci(8),
+					forL("dctX", "xx", ci(0), ci(8),
+						let("pix", load("img", add(mul(add(lv("by"), lv("yy")), par("w")), add(lv("bx"), lv("xx"))))),
+						let("cu", cosE(mul(cf(math.Pi/16), mul(toF32(add(mul(ci(2), lv("xx")), ci(1))), toF32(lv("u")))))),
+						let("cv", cosE(mul(cf(math.Pi/16), mul(toF32(add(mul(ci(2), lv("yy")), ci(1))), toF32(lv("v")))))),
+						let("acc", add(lv("acc"), mul(lv("pix"), mul(lv("cu"), lv("cv"))))),
+					),
+				),
+				store("out", tid(), mul(lv("acc"), cf(0.25))),
+			),
+		},
+	},
+	Native: func(env *kpl.Env) error {
+		w := int(env.Params["w"].Int())
+		h := int(env.Params["h"].Int())
+		img, out := env.Bufs["img"].F32s, env.Bufs["out"].F32s
+		for t := 0; t < w*h && t < env.NThreads; t++ {
+			x, y := t%w, t/w
+			u, v := x%8, y%8
+			bx, by := x-u, y-v
+			var acc float32
+			for yy := 0; yy < 8; yy++ {
+				for xx := 0; xx < 8; xx++ {
+					pix := img[(by+yy)*w+(bx+xx)]
+					cu := float32(math.Cos(float64(float32(math.Pi/16) * float32((2*xx+1)*u))))
+					cv := float32(math.Cos(float64(float32(math.Pi/16) * float32((2*yy+1)*v))))
+					acc += pix * (cu * cv)
+				}
+			}
+			out[t] = acc * 0.25
+		}
+		return nil
+	},
+	MakeWorkload: func(scale int) *Workload {
+		return imageWorkload(13, 256, 16*scale, nil, nil, nil, "out")
+	},
+	Iterations:  10,
+	Coalescable: false,
+})
+
+// ConvolutionSeparable applies a radius-8 1D filter along rows (CUDA SDK
+// convolutionSeparable's row pass). The shared-memory apron makes it
+// coalescing-unfriendly (paper Section 5).
+var ConvolutionSeparable = register(&Benchmark{
+	Name: "convolutionSeparable",
+	Kernel: &kpl.Kernel{
+		Name: "convolutionSeparable",
+		Params: []kpl.ParamDecl{
+			{Name: "w", T: kpl.I32},
+			{Name: "h", T: kpl.I32},
+		},
+		Bufs: []kpl.BufDecl{
+			{Name: "img", Elem: kpl.F32, Access: kpl.AccessSeq, L2Fraction: 0.1, ReadOnly: true},
+			{Name: "coef", Elem: kpl.F32, Access: kpl.AccessBroadcast, ReadOnly: true},
+			{Name: "out", Elem: kpl.F32, Access: kpl.AccessSeq},
+		},
+		Body: []kpl.Stmt{
+			pixelGuard(
+				let("acc", cf(0)),
+				forL("taps", "k", ci(0), ci(17),
+					let("xx", clampI(add(lv("x"), sub(lv("k"), ci(8))), ci(0), sub(par("w"), ci(1)))),
+					let("acc", add(lv("acc"),
+						mul(load("coef", lv("k")), load("img", add(mul(lv("y"), par("w")), lv("xx")))))),
+				),
+				store("out", tid(), lv("acc")),
+			),
+		},
+	},
+	Native: func(env *kpl.Env) error {
+		w := int(env.Params["w"].Int())
+		h := int(env.Params["h"].Int())
+		img, coef, out := env.Bufs["img"].F32s, env.Bufs["coef"].F32s, env.Bufs["out"].F32s
+		for t := 0; t < w*h && t < env.NThreads; t++ {
+			x, y := t%w, t/w
+			var acc float32
+			for k := 0; k < 17; k++ {
+				xx := clampInt(x+k-8, 0, w-1)
+				acc += coef[k] * img[y*w+xx]
+			}
+			out[t] = acc
+		}
+		return nil
+	},
+	MakeWorkload: func(scale int) *Workload {
+		coef := make([]float32, 17)
+		var sum float32
+		for i := range coef {
+			d := float32(i - 8)
+			coef[i] = float32(math.Exp(float64(-d * d / 18)))
+			sum += coef[i]
+		}
+		for i := range coef {
+			coef[i] /= sum
+		}
+		return imageWorkload(14, 256, 16*scale,
+			map[string]int{"coef": 4 * 17},
+			map[string][]byte{"coef": devmem.EncodeF32(coef)},
+			nil, "out")
+	},
+	Iterations:  12,
+	Coalescable: false,
+})
+
+// RecursiveGaussian runs the IIR Gaussian filter down each column (CUDA SDK
+// recursiveGaussian): one thread per column, sequential in y. File/display
+// bound in the SDK.
+var RecursiveGaussian = register(&Benchmark{
+	Name: "recursiveGaussian",
+	Kernel: &kpl.Kernel{
+		Name: "recursiveGaussian",
+		Params: []kpl.ParamDecl{
+			{Name: "w", T: kpl.I32},
+			{Name: "h", T: kpl.I32},
+			{Name: "a", T: kpl.F32},
+		},
+		Bufs: []kpl.BufDecl{
+			// One thread per column: per-thread strides of w are coalesced
+			// ACROSS threads (thread x touches img[y·w+x]), so the device
+			// sees sequential lines.
+			{Name: "img", Elem: kpl.F32, Access: kpl.AccessSeq, L2Fraction: 0.5, ReadOnly: true},
+			{Name: "out", Elem: kpl.F32, Access: kpl.AccessSeq},
+		},
+		Body: []kpl.Stmt{
+			ifP(0.95, lt(tid(), par("w")),
+				let("prev", cf(0)),
+				forL("col", "y", ci(0), par("h"),
+					let("cur", load("img", add(mul(lv("y"), par("w")), tid()))),
+					let("prev", add(mul(par("a"), lv("cur")), mul(sub(cf(1), par("a")), lv("prev")))),
+					store("out", add(mul(lv("y"), par("w")), tid()), lv("prev")),
+				),
+			),
+		},
+	},
+	Native: func(env *kpl.Env) error {
+		w := int(env.Params["w"].Int())
+		h := int(env.Params["h"].Int())
+		a := float32(env.Params["a"].Float())
+		img, out := env.Bufs["img"].F32s, env.Bufs["out"].F32s
+		for x := 0; x < w && x < env.NThreads; x++ {
+			var prev float32
+			for y := 0; y < h; y++ {
+				cur := img[y*w+x]
+				prev = a*cur + (1-a)*prev
+				out[y*w+x] = prev
+			}
+		}
+		return nil
+	},
+	MakeWorkload: func(scale int) *Workload {
+		w, h := 2048, 16*scale // one thread per column: wide images keep the device busy
+		wl := imageWorkload(15, w, h, nil, nil, map[string]kpl.Value{
+			"a": kpl.F32Val(0.25),
+		}, "out")
+		wl.Grid = ceilDiv(w, 256)
+		return wl
+	},
+	Iterations:       10,
+	NonCUDAVPSeconds: 0.00010, // loads/saves PPM images
+	Coalescable:      true,
+})
+
+// BicubicTexture resamples a scanline with Catmull-Rom weights (CUDA SDK
+// bicubicTexture, 1D pass). File-driven and FP-heavy.
+var BicubicTexture = register(&Benchmark{
+	Name: "bicubicTexture",
+	Kernel: &kpl.Kernel{
+		Name: "bicubicTexture",
+		Params: []kpl.ParamDecl{
+			{Name: "w", T: kpl.I32},
+			{Name: "h", T: kpl.I32},
+			{Name: "zoom", T: kpl.F32},
+		},
+		Bufs: []kpl.BufDecl{
+			{Name: "img", Elem: kpl.F32, Access: kpl.AccessSeq, L2Fraction: 0.5, ReadOnly: true},
+			{Name: "out", Elem: kpl.F32, Access: kpl.AccessSeq},
+		},
+		Body: []kpl.Stmt{
+			pixelGuard(
+				let("sx", mul(toF32(lv("x")), par("zoom"))),
+				let("fx", floorF32()),
+				let("t", sub(lv("sx"), lv("fx"))),
+				let("ix", toI32(lv("fx"))),
+				// Catmull-Rom weights.
+				let("w0", mul(cf(0.5), add(mul(lv("t"), add(mul(lv("t"), sub(cf(2), lv("t"))), cf(-1))), cf(0)))),
+				let("w1", mul(cf(0.5), add(mul(mul(lv("t"), lv("t")), sub(mul(cf(3), lv("t")), cf(5))), cf(2)))),
+				let("w2", mul(cf(0.5), mul(lv("t"), add(mul(lv("t"), sub(cf(4), mul(cf(3), lv("t")))), cf(1))))),
+				let("w3", mul(cf(0.5), mul(mul(lv("t"), lv("t")), sub(lv("t"), cf(1))))),
+				let("row", mul(lv("y"), par("w"))),
+				let("p0", load("img", add(lv("row"), clampI(sub(lv("ix"), ci(1)), ci(0), sub(par("w"), ci(1)))))),
+				let("p1", load("img", add(lv("row"), clampI(lv("ix"), ci(0), sub(par("w"), ci(1)))))),
+				let("p2", load("img", add(lv("row"), clampI(add(lv("ix"), ci(1)), ci(0), sub(par("w"), ci(1)))))),
+				let("p3", load("img", add(lv("row"), clampI(add(lv("ix"), ci(2)), ci(0), sub(par("w"), ci(1)))))),
+				store("out", tid(),
+					add(add(mul(lv("w0"), lv("p0")), mul(lv("w1"), lv("p1"))),
+						add(mul(lv("w2"), lv("p2")), mul(lv("w3"), lv("p3"))))),
+			),
+		},
+	},
+	Native: func(env *kpl.Env) error {
+		w := int(env.Params["w"].Int())
+		h := int(env.Params["h"].Int())
+		zoom := float32(env.Params["zoom"].Float())
+		img, out := env.Bufs["img"].F32s, env.Bufs["out"].F32s
+		for tdx := 0; tdx < w*h && tdx < env.NThreads; tdx++ {
+			x, y := tdx%w, tdx/w
+			sx := float32(x) * zoom
+			fx := float32(math.Floor(float64(sx)))
+			t := sx - fx
+			ix := int(fx)
+			w0 := float32(0.5) * (t*(t*(2-t)+-1) + 0)
+			w1 := float32(0.5) * (t*t*(3*t-5) + 2)
+			w2 := float32(0.5) * (t * (t*(4-3*t) + 1))
+			w3 := float32(0.5) * (t * t * (t - 1))
+			row := y * w
+			p0 := img[row+clampInt(ix-1, 0, w-1)]
+			p1 := img[row+clampInt(ix, 0, w-1)]
+			p2 := img[row+clampInt(ix+1, 0, w-1)]
+			p3 := img[row+clampInt(ix+2, 0, w-1)]
+			out[tdx] = (w0*p0 + w1*p1) + (w2*p2 + w3*p3)
+		}
+		return nil
+	},
+	MakeWorkload: func(scale int) *Workload {
+		return imageWorkload(16, 256, 16*scale, nil, nil, map[string]kpl.Value{
+			"zoom": kpl.F32Val(0.8),
+		}, "out")
+	},
+	Iterations:       10,
+	NonCUDAVPSeconds: 0.00010, // reads textures from files
+	Coalescable:      true,
+})
+
+// floorF32 returns floor(sx) as an expression (helper keeps the bicubic body
+// readable).
+func floorF32() kpl.Expr { return kpl.Floor(lv("sx")) }

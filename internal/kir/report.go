@@ -1,0 +1,52 @@
+package kir
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/kpl"
+)
+
+// BlockReport renders the paper's Fig. 8 derivation for a launch: every
+// program block with its per-architecture instruction count µ{b,A}, its
+// iteration count λ_b, and the λ·µ contribution, summing to σ{K,A} (Eq. 1).
+// Dynamic λ values come from dyn when the loop is data-dependent.
+func (p *Program) BlockReport(g *arch.GPU, l Launch, dyn *kpl.Stats) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "σ derivation for %s on %s (Eq. 1: σ = Σ_b λ_b·µ_b)\n", p.Kernel.Name, g.Name)
+	fmt.Fprintf(&b, "%-16s %-8s %12s %14s %16s\n", "block", "kind", "µ (instr)", "λ", "λ·µ")
+
+	var total float64
+	var walk func(blk *Block, lambda float64, depth int) error
+	walk = func(blk *Block, lambda float64, depth int) error {
+		myLambda := lambda
+		switch blk.Kind {
+		case TripLoop:
+			trips, err := p.loopTrips(blk, l, dyn)
+			if err != nil {
+				return err
+			}
+			myLambda *= trips
+		case TripBranch:
+			myLambda *= blk.Weight
+		}
+		mu := blk.Mu.Mul(g.Expand).Sum()
+		contrib := myLambda * mu
+		total += contrib
+		kind := map[TripKind]string{TripRoot: "root", TripLoop: "loop", TripBranch: "branch"}[blk.Kind]
+		fmt.Fprintf(&b, "%-16s %-8s %12.0f %14.1f %16.0f\n",
+			strings.Repeat("  ", depth)+blk.Label, kind, mu, myLambda, contrib)
+		for _, c := range blk.Children {
+			if err := walk(c, myLambda, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(p.Root, float64(l.NThreads), 0); err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "%-16s %-8s %12s %14s %16.0f\n", "σ{K,T}", "", "", "", total)
+	return b.String(), nil
+}

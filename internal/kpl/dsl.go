@@ -1,0 +1,164 @@
+package kpl
+
+// Builder helpers keep kernel definitions in internal/kernels concise. They
+// construct AST nodes; no evaluation happens here.
+
+// CI builds an i32 constant.
+func CI(v int64) Expr { return &Const{T: I32, I: v} }
+
+// CF builds an f32 constant; the value is rounded to float32 precision so
+// constants behave exactly like stored f32 data.
+func CF(v float64) Expr { return &Const{T: F32, F: float64(float32(v))} }
+
+// CD builds an f64 constant.
+func CD(v float64) Expr { return &Const{T: F64, F: v} }
+
+// TID is the global thread index.
+func TID() Expr { return &TIDExpr{} }
+
+// NT is the total thread count of the launch.
+func NT() Expr { return &NTExpr{} }
+
+// P reads scalar launch parameter name.
+func P(name string) Expr { return &ParamExpr{Name: name} }
+
+// V reads local variable name.
+func V(name string) Expr { return &VarExpr{Name: name} }
+
+// Bin builds a binary expression.
+func Bin(op BinOp, a, b Expr) Expr { return &BinExpr{Op: op, A: a, B: b} }
+
+// Add builds a+b.
+func Add(a, b Expr) Expr { return Bin(OpAdd, a, b) }
+
+// Sub builds a-b.
+func Sub(a, b Expr) Expr { return Bin(OpSub, a, b) }
+
+// Mul builds a*b.
+func Mul(a, b Expr) Expr { return Bin(OpMul, a, b) }
+
+// Div builds a/b.
+func Div(a, b Expr) Expr { return Bin(OpDiv, a, b) }
+
+// Mod builds a%b (integer) or fmod (float).
+func Mod(a, b Expr) Expr { return Bin(OpMod, a, b) }
+
+// Min builds min(a,b).
+func Min(a, b Expr) Expr { return Bin(OpMin, a, b) }
+
+// Max builds max(a,b).
+func Max(a, b Expr) Expr { return Bin(OpMax, a, b) }
+
+// LT builds a<b (i32 0/1).
+func LT(a, b Expr) Expr { return Bin(OpLT, a, b) }
+
+// LE builds a<=b.
+func LE(a, b Expr) Expr { return Bin(OpLE, a, b) }
+
+// GT builds a>b.
+func GT(a, b Expr) Expr { return Bin(OpGT, a, b) }
+
+// GE builds a>=b.
+func GE(a, b Expr) Expr { return Bin(OpGE, a, b) }
+
+// EQ builds a==b.
+func EQ(a, b Expr) Expr { return Bin(OpEQ, a, b) }
+
+// NE builds a!=b.
+func NE(a, b Expr) Expr { return Bin(OpNE, a, b) }
+
+// And builds a&b (i32).
+func And(a, b Expr) Expr { return Bin(OpAnd, a, b) }
+
+// Or builds a|b (i32).
+func Or(a, b Expr) Expr { return Bin(OpOr, a, b) }
+
+// Xor builds a^b (i32).
+func Xor(a, b Expr) Expr { return Bin(OpXor, a, b) }
+
+// Shl builds a<<b (i32).
+func Shl(a, b Expr) Expr { return Bin(OpShl, a, b) }
+
+// Shr builds a>>b (i32).
+func Shr(a, b Expr) Expr { return Bin(OpShr, a, b) }
+
+// Neg builds -a.
+func Neg(a Expr) Expr { return &UnExpr{Op: OpNeg, A: a} }
+
+// Abs builds |a|.
+func Abs(a Expr) Expr { return &UnExpr{Op: OpAbs, A: a} }
+
+// Floor builds floor(a).
+func Floor(a Expr) Expr { return &UnExpr{Op: OpFloor, A: a} }
+
+// Sqrt builds sqrt(a).
+func Sqrt(a Expr) Expr { return &UnExpr{Op: OpSqrt, A: a} }
+
+// Rsqrt builds 1/sqrt(a).
+func Rsqrt(a Expr) Expr { return &UnExpr{Op: OpRsqrt, A: a} }
+
+// Exp builds e^a.
+func Exp(a Expr) Expr { return &UnExpr{Op: OpExp, A: a} }
+
+// Log builds ln(a).
+func Log(a Expr) Expr { return &UnExpr{Op: OpLog, A: a} }
+
+// Sin builds sin(a).
+func Sin(a Expr) Expr { return &UnExpr{Op: OpSin, A: a} }
+
+// Cos builds cos(a).
+func Cos(a Expr) Expr { return &UnExpr{Op: OpCos, A: a} }
+
+// Load builds buf[idx].
+func Load(buf string, idx Expr) Expr { return &LoadExpr{Buf: buf, Idx: idx} }
+
+// Cast builds a conversion of a to t.
+func Cast(t Type, a Expr) Expr { return &CastExpr{T: t, A: a} }
+
+// ToF32 converts to f32.
+func ToF32(a Expr) Expr { return Cast(F32, a) }
+
+// ToF64 converts to f64.
+func ToF64(a Expr) Expr { return Cast(F64, a) }
+
+// ToI32 converts to i32 (truncating).
+func ToI32(a Expr) Expr { return Cast(I32, a) }
+
+// Sel builds the branch-free select cond ? a : b.
+func Sel(cond, a, b Expr) Expr { return &SelExpr{Cond: cond, A: a, B: b} }
+
+// Let builds the assignment name := e.
+func Let(name string, e Expr) Stmt { return &LetStmt{Name: name, E: e} }
+
+// Store builds buf[idx] = val.
+func Store(buf string, idx, val Expr) Stmt { return &StoreStmt{Buf: buf, Idx: idx, Val: val} }
+
+// AtomicAdd builds buf[idx] += val.
+func AtomicAdd(buf string, idx, val Expr) Stmt {
+	return &AtomicAddStmt{Buf: buf, Idx: idx, Val: val}
+}
+
+// For builds a counted loop over [start, end).
+func For(label, v string, start, end Expr, body ...Stmt) Stmt {
+	return &ForStmt{Label: label, Var: v, Start: start, End: end, Body: body}
+}
+
+// If builds a one-armed conditional.
+func If(cond Expr, then ...Stmt) Stmt { return &IfStmt{Cond: cond, Then: then} }
+
+// IfElse builds a two-armed conditional.
+func IfElse(cond Expr, then, els []Stmt) Stmt {
+	return &IfStmt{Cond: cond, Then: then, Else: els}
+}
+
+// IfProb builds a one-armed conditional annotated with a static taken
+// probability for µ analysis.
+func IfProb(prob float64, cond Expr, then ...Stmt) Stmt {
+	return &IfStmt{Cond: cond, Then: then, TakenProb: prob}
+}
+
+// Break exits the innermost loop.
+func Break() Stmt { return &BreakStmt{} }
+
+// Not builds the bitwise complement ~a (i32).
+func Not(a Expr) Expr { return &UnExpr{Op: OpNot, A: a} }

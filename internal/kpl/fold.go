@@ -1,0 +1,161 @@
+package kpl
+
+// Fold returns a copy of the kernel with compile-time-evaluable expressions
+// reduced: constant subexpressions are evaluated, arithmetic identities
+// (x+0, x·1, x·0) are simplified, selects and ifs with constant conditions
+// are resolved, and loops whose bounds fold to an empty range are dropped —
+// the optimizations a CUDA compiler front end performs before PTX emission.
+// Folding preserves semantics exactly (same results, same f32 rounding); it
+// reduces the *instruction count*, which is the point: a folded kernel
+// emulates faster and derives a smaller σ.
+//
+// The input kernel is not modified.
+func Fold(k *Kernel) *Kernel {
+	out := &Kernel{
+		Name:   k.Name,
+		Params: append([]ParamDecl(nil), k.Params...),
+		Bufs:   append([]BufDecl(nil), k.Bufs...),
+		Body:   foldStmts(k.Body),
+	}
+	return out
+}
+
+func foldStmts(ss []Stmt) []Stmt {
+	var out []Stmt
+	for _, s := range ss {
+		switch x := s.(type) {
+		case *LetStmt:
+			out = append(out, &LetStmt{Name: x.Name, E: foldExpr(x.E)})
+		case *StoreStmt:
+			out = append(out, &StoreStmt{Buf: x.Buf, Idx: foldExpr(x.Idx), Val: foldExpr(x.Val)})
+		case *AtomicAddStmt:
+			out = append(out, &AtomicAddStmt{Buf: x.Buf, Idx: foldExpr(x.Idx), Val: foldExpr(x.Val)})
+		case *ForStmt:
+			start := foldExpr(x.Start)
+			end := foldExpr(x.End)
+			if cs, ok1 := constOf(start); ok1 {
+				if ce, ok2 := constOf(end); ok2 && ce.Int() <= cs.Int() {
+					continue // provably empty loop
+				}
+			}
+			out = append(out, &ForStmt{
+				Label: x.Label, Var: x.Var,
+				Start: start, End: end,
+				Body: foldStmts(x.Body),
+			})
+		case *IfStmt:
+			cond := foldExpr(x.Cond)
+			if cv, ok := constOf(cond); ok {
+				if cv.Bool() {
+					out = append(out, foldStmts(x.Then)...)
+				} else {
+					out = append(out, foldStmts(x.Else)...)
+				}
+				continue
+			}
+			out = append(out, &IfStmt{
+				Cond:      cond,
+				Then:      foldStmts(x.Then),
+				Else:      foldStmts(x.Else),
+				TakenProb: x.TakenProb,
+			})
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// constOf extracts the value of a constant expression.
+func constOf(e Expr) (Value, bool) {
+	if c, ok := e.(*Const); ok {
+		return Value{T: c.T, F: c.F, I: c.I}, true
+	}
+	return Value{}, false
+}
+
+func constExpr(v Value) Expr {
+	return &Const{T: v.T, F: v.F, I: v.I}
+}
+
+func foldExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case *BinExpr:
+		a := foldExpr(x.A)
+		b := foldExpr(x.B)
+		av, aOK := constOf(a)
+		bv, bOK := constOf(b)
+		if aOK && bOK {
+			return constExpr(EvalBin(x.Op, av, bv))
+		}
+		// Identities. They are exact in both integer and IEEE arithmetic for
+		// the value ranges the language produces (x+0 and x·1 are exact;
+		// x·0 is only folded for integers, where no NaN/−0 concerns exist).
+		switch x.Op {
+		case OpAdd:
+			if aOK && av.T == I32 && av.I == 0 {
+				return b
+			}
+			if bOK && bv.T == I32 && bv.I == 0 {
+				return a
+			}
+		case OpSub:
+			if bOK && bv.T == I32 && bv.I == 0 {
+				return a
+			}
+		case OpMul:
+			if aOK && av.T == I32 {
+				if av.I == 1 {
+					return b
+				}
+				if av.I == 0 {
+					return constExpr(IntVal(0))
+				}
+			}
+			if bOK && bv.T == I32 {
+				if bv.I == 1 {
+					return a
+				}
+				if bv.I == 0 {
+					return constExpr(IntVal(0))
+				}
+			}
+		case OpDiv:
+			if bOK && bv.T == I32 && bv.I == 1 {
+				return a
+			}
+		case OpShl, OpShr:
+			if bOK && bv.T == I32 && bv.I == 0 {
+				return a
+			}
+		}
+		return &BinExpr{Op: x.Op, A: a, B: b}
+	case *UnExpr:
+		a := foldExpr(x.A)
+		if av, ok := constOf(a); ok {
+			return constExpr(EvalUn(x.Op, av))
+		}
+		return &UnExpr{Op: x.Op, A: a}
+	case *LoadExpr:
+		return &LoadExpr{Buf: x.Buf, Idx: foldExpr(x.Idx)}
+	case *CastExpr:
+		a := foldExpr(x.A)
+		if av, ok := constOf(a); ok {
+			return constExpr(av.Convert(x.T))
+		}
+		return &CastExpr{T: x.T, A: a}
+	case *SelExpr:
+		cond := foldExpr(x.Cond)
+		a := foldExpr(x.A)
+		b := foldExpr(x.B)
+		if cv, ok := constOf(cond); ok {
+			if cv.Bool() {
+				return a
+			}
+			return b
+		}
+		return &SelExpr{Cond: cond, A: a, B: b}
+	default:
+		return e
+	}
+}

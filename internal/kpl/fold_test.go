@@ -1,0 +1,160 @@
+package kpl
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestFoldConstants(t *testing.T) {
+	k := &Kernel{
+		Name: "folds",
+		Bufs: []BufDecl{{Name: "out", Elem: F32, Access: AccessSeq}},
+		Body: []Stmt{
+			Let("a", Add(CI(2), CI(3))),                 // → 5
+			Let("b", Mul(V("a"), CI(1))),                // → a
+			Let("c", Add(V("b"), CI(0))),                // → b
+			Let("d", Sel(CI(1), CF(1.5), Sqrt(CF(-1)))), // → 1.5f
+			Let("e", Mul(CI(0), V("a"))),                // → 0
+			Store("out", TID(), Add(ToF32(V("c")), V("d"))),
+		},
+	}
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := Fold(k)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The folded body is smaller in dynamic instructions.
+	run := func(kk *Kernel) (*Stats, float64) {
+		out := NewBuffer(F32, 4)
+		st := NewStats()
+		if err := kk.ExecAll(NewEnv(4).Bind("out", out), st); err != nil {
+			t.Fatal(err)
+		}
+		return st, float64(out.F32s[2])
+	}
+	stO, vO := run(k)
+	stF, vF := run(f)
+	if vO != vF {
+		t.Fatalf("folding changed results: %v vs %v", vO, vF)
+	}
+	if vO != 6.5 {
+		t.Fatalf("result = %v, want 6.5", vO)
+	}
+	if stF.Instr.Sum() >= stO.Instr.Sum() {
+		t.Fatalf("folding did not shrink the instruction count: %v vs %v",
+			stF.Instr.Sum(), stO.Instr.Sum())
+	}
+}
+
+func TestFoldControlFlow(t *testing.T) {
+	k := &Kernel{
+		Name: "ctlfold",
+		Bufs: []BufDecl{{Name: "out", Elem: I32, Access: AccessSeq}},
+		Body: []Stmt{
+			Let("x", CI(0)),
+			If(GT(CI(2), CI(1)), Let("x", CI(10))), // taken → inlined
+			IfElse(EQ(CI(1), CI(2)), []Stmt{Let("x", CI(-1))}, []Stmt{}), // dead
+			For("dead", "i", CI(5), CI(5), Let("x", CI(-2))),             // empty range → dropped
+			For("live", "i", CI(0), CI(3), Let("x", Add(V("x"), CI(1)))),
+			Store("out", TID(), V("x")),
+		},
+	}
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := Fold(k)
+	out := NewBuffer(I32, 1)
+	if err := f.ExecAll(NewEnv(1).Bind("out", out), nil); err != nil {
+		t.Fatal(err)
+	}
+	if out.I32s[0] != 13 {
+		t.Fatalf("folded result = %d, want 13", out.I32s[0])
+	}
+	// The dead loop and branches are gone structurally.
+	s := f.String()
+	for _, gone := range []string{"dead", "-1", "-2"} {
+		if contains(s, gone) {
+			t.Errorf("folded kernel still contains %q:\n%s", gone, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && indexOf(s, sub) >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestFoldPreservesVecAddSemantics: folding a real kernel changes nothing
+// observable.
+func TestFoldPreservesVecAddSemantics(t *testing.T) {
+	k := vecAddKernel()
+	f := Fold(k)
+	n := 100
+	run := func(kk *Kernel) []float32 {
+		a := NewBuffer(F32, n)
+		b := NewBuffer(F32, n)
+		out := NewBuffer(F32, n)
+		for i := 0; i < n; i++ {
+			a.F32s[i] = float32(i) * 0.25
+			b.F32s[i] = float32(n - i)
+		}
+		env := NewEnv(n).SetInt("n", int64(n)).Bind("a", a).Bind("b", b).Bind("out", out)
+		if err := kk.ExecAll(env, nil); err != nil {
+			t.Fatal(err)
+		}
+		return out.F32s
+	}
+	o1, o2 := run(k), run(f)
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("out[%d]: %v vs %v", i, o1[i], o2[i])
+		}
+	}
+}
+
+func TestFoldDoesNotMutateOriginal(t *testing.T) {
+	k := vecAddKernel()
+	before := k.String()
+	_ = Fold(k)
+	if k.String() != before {
+		t.Fatal("Fold mutated its input")
+	}
+}
+
+// TestFoldShrinksSigma: on a kernel with foldable math, the folded σ is
+// strictly smaller — the "compiled for the target" instruction stream.
+func TestFoldShrinksSigma(t *testing.T) {
+	k := &Kernel{
+		Name: "shrink",
+		Bufs: []BufDecl{{Name: "out", Elem: F32, Access: AccessSeq}},
+		Body: []Stmt{
+			Store("out", TID(), Mul(Add(CF(1), CF(2)), Add(CF(3), CF(4)))),
+		},
+	}
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := Fold(k)
+	count := func(kk *Kernel) float64 {
+		st := NewStats()
+		out := NewBuffer(F32, 8)
+		if err := kk.ExecAll(NewEnv(8).Bind("out", out), st); err != nil {
+			t.Fatal(err)
+		}
+		return st.Instr[arch.FP32]
+	}
+	if orig, folded := count(k), count(f); folded >= orig {
+		t.Fatalf("σ[FP32] %v → %v, want reduction", orig, folded)
+	}
+}

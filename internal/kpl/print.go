@@ -1,0 +1,131 @@
+package kpl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the kernel as readable pseudo-CUDA source. The output is
+// stable (deterministic) and intended for debugging, documentation and
+// golden tests — it is not re-parsed.
+func (k *Kernel) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s(", k.Name)
+	for i, p := range k.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", p.T, p.Name)
+	}
+	b.WriteString(")\n")
+	for _, d := range k.Bufs {
+		mode := "rw"
+		if d.ReadOnly {
+			mode = "ro"
+		}
+		fmt.Fprintf(&b, "  buffer %s %s[%s]", mode, d.Name, d.Elem)
+		fmt.Fprintf(&b, " // %s", d.Access)
+		if d.Stride > 0 {
+			fmt.Fprintf(&b, " stride=%d", d.Stride)
+		}
+		if d.L2Fraction > 0 {
+			fmt.Fprintf(&b, " l2=%.2f", d.L2Fraction)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("{\n")
+	printStmts(&b, k.Body, 1)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func printStmts(b *strings.Builder, ss []Stmt, depth int) {
+	for _, s := range ss {
+		indent(b, depth)
+		switch x := s.(type) {
+		case *LetStmt:
+			fmt.Fprintf(b, "%s = %s\n", x.Name, ExprString(x.E))
+		case *StoreStmt:
+			fmt.Fprintf(b, "%s[%s] = %s\n", x.Buf, ExprString(x.Idx), ExprString(x.Val))
+		case *AtomicAddStmt:
+			fmt.Fprintf(b, "atomicAdd(&%s[%s], %s)\n", x.Buf, ExprString(x.Idx), ExprString(x.Val))
+		case *ForStmt:
+			fmt.Fprintf(b, "for %s in [%s, %s) { // %s\n", x.Var, ExprString(x.Start), ExprString(x.End), x.Label)
+			printStmts(b, x.Body, depth+1)
+			indent(b, depth)
+			b.WriteString("}\n")
+		case *IfStmt:
+			fmt.Fprintf(b, "if %s {", ExprString(x.Cond))
+			if x.TakenProb > 0 {
+				fmt.Fprintf(b, " // p=%.2f", x.TakenProb)
+			}
+			b.WriteString("\n")
+			printStmts(b, x.Then, depth+1)
+			if len(x.Else) > 0 {
+				indent(b, depth)
+				b.WriteString("} else {\n")
+				printStmts(b, x.Else, depth+1)
+			}
+			indent(b, depth)
+			b.WriteString("}\n")
+		case *BreakStmt:
+			b.WriteString("break\n")
+		default:
+			fmt.Fprintf(b, "/* unknown %T */\n", s)
+		}
+	}
+}
+
+var binSymbols = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpLT: "<", OpLE: "<=", OpGT: ">", OpGE: ">=", OpEQ: "==", OpNE: "!=",
+	OpAnd: "&", OpOr: "|", OpXor: "^", OpShl: "<<", OpShr: ">>",
+}
+
+// ExprString renders an expression (fully parenthesized for unambiguity).
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *Const:
+		if x.T == I32 {
+			return fmt.Sprintf("%d", x.I)
+		}
+		return fmt.Sprintf("%g%s", x.F, map[Type]string{F32: "f", F64: ""}[x.T])
+	case *TIDExpr:
+		return "tid"
+	case *NTExpr:
+		return "nthreads"
+	case *ParamExpr:
+		return x.Name
+	case *VarExpr:
+		return x.Name
+	case *BinExpr:
+		if sym, ok := binSymbols[x.Op]; ok {
+			return fmt.Sprintf("(%s %s %s)", ExprString(x.A), sym, ExprString(x.B))
+		}
+		return fmt.Sprintf("%s(%s, %s)", x.Op, ExprString(x.A), ExprString(x.B))
+	case *UnExpr:
+		if x.Op == OpNeg {
+			return fmt.Sprintf("(-%s)", ExprString(x.A))
+		}
+		if x.Op == OpNot {
+			return fmt.Sprintf("(~%s)", ExprString(x.A))
+		}
+		return fmt.Sprintf("%s(%s)", x.Op, ExprString(x.A))
+	case *LoadExpr:
+		return fmt.Sprintf("%s[%s]", x.Buf, ExprString(x.Idx))
+	case *CastExpr:
+		return fmt.Sprintf("%s(%s)", x.T, ExprString(x.A))
+	case *SelExpr:
+		return fmt.Sprintf("(%s ? %s : %s)", ExprString(x.Cond), ExprString(x.A), ExprString(x.B))
+	case nil:
+		return "<nil>"
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}

@@ -1,0 +1,85 @@
+package kpl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKernelString(t *testing.T) {
+	k := vecAddKernel()
+	s := k.String()
+	for _, want := range []string{
+		"kernel vectorAdd(i32 n)",
+		"buffer ro a[f32]",
+		"buffer rw out[f32]",
+		"if (tid < n)",
+		"out[tid] = (a[tid] + b[tid])",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestExprString(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{CI(5), "5"},
+		{CF(1.5), "1.5f"},
+		{CD(2.5), "2.5"},
+		{TID(), "tid"},
+		{NT(), "nthreads"},
+		{P("n"), "n"},
+		{V("x"), "x"},
+		{Add(CI(1), CI(2)), "(1 + 2)"},
+		{Shl(CI(1), CI(3)), "(1 << 3)"},
+		{Min(V("a"), V("b")), "min(a, b)"},
+		{Neg(V("x")), "(-x)"},
+		{Sqrt(V("x")), "sqrt(x)"},
+		{Load("buf", TID()), "buf[tid]"},
+		{ToF32(V("i")), "f32(i)"},
+		{Sel(V("c"), CI(1), CI(0)), "(c ? 1 : 0)"},
+		{nil, "<nil>"},
+	}
+	for _, tc := range cases {
+		if got := ExprString(tc.e); got != tc.want {
+			t.Errorf("ExprString = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestStringCoversControlFlow(t *testing.T) {
+	k := &Kernel{
+		Name: "ctrl",
+		Bufs: []BufDecl{{Name: "out", Elem: I32, Access: AccessSeq, Stride: 4, L2Fraction: 0.5}},
+		Body: []Stmt{
+			For("l", "i", CI(0), CI(4),
+				IfElse(GT(V("i"), CI(1)),
+					[]Stmt{Break()},
+					[]Stmt{AtomicAdd("out", CI(0), V("i"))},
+				),
+			),
+		},
+	}
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := k.String()
+	for _, want := range []string{"for i in [0, 4)", "// l", "} else {", "break", "atomicAdd(&out[0], i)", "stride=4", "l2=0.50"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+// TestStringDeterministic: rendering the same kernel twice gives identical
+// text (used as a stability guarantee for golden tests downstream).
+func TestStringDeterministic(t *testing.T) {
+	a := vecAddKernel().String()
+	b := vecAddKernel().String()
+	if a != b {
+		t.Fatal("String is not deterministic")
+	}
+}

@@ -1,0 +1,341 @@
+// Package sched implements the Job Queue and the Re-scheduler of the ΣVP
+// host service (paper Fig. 2). Jobs from multiple VPs accumulate in the
+// queue; the Re-scheduler produces a dispatch order that (a) preserves each
+// VP's partial order and any explicit dependencies — it is the paper's
+// "non-preemptive, optimal scheduler augmented for job dependencies" [14] —
+// and (b) under the interleaving policy, alternates copy-engine and
+// compute-engine jobs so the two engines overlap (Kernel Interleaving,
+// paper Figs. 3–4).
+package sched
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/devmem"
+	"repro/internal/hostgpu"
+	"repro/internal/profile"
+)
+
+// Policy selects the Re-scheduler's ordering strategy.
+type Policy uint8
+
+// Policies.
+const (
+	// PolicyFIFO dispatches jobs in arrival order — the unoptimized
+	// baseline whose head-of-line blocking Fig. 3a illustrates.
+	PolicyFIFO Policy = iota
+	// PolicyInterleave reorders jobs (within dependency constraints) to
+	// alternate engines — Kernel Interleaving.
+	PolicyInterleave
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyFIFO:
+		return "fifo"
+	case PolicyInterleave:
+		return "interleave"
+	}
+	return fmt.Sprintf("Policy(%d)", uint8(p))
+}
+
+// Job is one GPU operation requested by a VP.
+type Job struct {
+	VP     int
+	Stream int
+	Engine string // hostgpu.EngineCopy or EngineCompute
+	Label  string
+
+	// Deps are explicit extra dependencies (beyond the per-VP/stream
+	// arrival order), used by coalesced jobs.
+	Deps []*Job
+
+	// Launch is retained for kernel jobs so the Re-scheduler's Kernel Match
+	// stage can inspect them; Coalescable marks kernels whose memory
+	// management permits merging.
+	Launch      *hostgpu.Launch
+	Coalescable bool
+
+	// Run executes the operation against the device and fills the result
+	// fields.
+	Run func(g *hostgpu.GPU) error
+
+	// Results.
+	Data     []byte
+	Interval hostgpu.Interval
+	Profile  *profile.Profile
+	Err      error
+
+	seq  int
+	done chan struct{}
+}
+
+func newJob(vp, stream int, engine, label string) *Job {
+	return &Job{VP: vp, Stream: stream, Engine: engine, Label: label, done: make(chan struct{})}
+}
+
+// NewH2D builds a host-to-device copy job.
+func NewH2D(vp, stream int, dst devmem.Ptr, off int, data []byte) *Job {
+	j := newJob(vp, stream, hostgpu.EngineH2D, fmt.Sprintf("vp%d H2D %dB", vp, len(data)))
+	j.Run = func(g *hostgpu.GPU) error {
+		iv, err := g.CopyH2D(stream, dst, off, data)
+		j.Interval = iv
+		return err
+	}
+	return j
+}
+
+// NewD2H builds a device-to-host copy job; the bytes land in Job.Data.
+func NewD2H(vp, stream int, src devmem.Ptr, off, n int) *Job {
+	j := newJob(vp, stream, hostgpu.EngineD2H, fmt.Sprintf("vp%d D2H %dB", vp, n))
+	j.Run = func(g *hostgpu.GPU) error {
+		data, iv, err := g.CopyD2H(stream, src, off, n)
+		j.Data = data
+		j.Interval = iv
+		return err
+	}
+	return j
+}
+
+// NewMemset builds a device-memory fill job (cudaMemset); fills run on the
+// compute engine's fill path.
+func NewMemset(vp, stream int, dst devmem.Ptr, off, n int, value byte) *Job {
+	j := newJob(vp, stream, hostgpu.EngineCompute, fmt.Sprintf("vp%d memset %dB", vp, n))
+	j.Run = func(g *hostgpu.GPU) error {
+		iv, err := g.Memset(stream, dst, off, n, value)
+		j.Interval = iv
+		return err
+	}
+	return j
+}
+
+// NewKernel builds a kernel-launch job.
+func NewKernel(vp, stream int, l *hostgpu.Launch) *Job {
+	j := newJob(vp, stream, hostgpu.EngineCompute, fmt.Sprintf("vp%d %s", vp, l.Kernel.Name))
+	j.Launch = l
+	j.Run = func(g *hostgpu.GPU) error {
+		p, iv, err := g.Launch(stream, l)
+		j.Profile = p
+		j.Interval = iv
+		return err
+	}
+	return j
+}
+
+// NewCustom builds a job with caller-supplied execution (coalesced jobs).
+func NewCustom(vp, stream int, engine, label string, run func(j *Job, g *hostgpu.GPU) error) *Job {
+	j := newJob(vp, stream, engine, label)
+	j.Run = func(g *hostgpu.GPU) error { return run(j, g) }
+	return j
+}
+
+// Finish marks the job complete with the given error.
+func (j *Job) Finish(err error) {
+	if err != nil && j.Err == nil {
+		j.Err = err
+	}
+	close(j.done)
+}
+
+// Wait blocks until the job finishes and returns its error.
+func (j *Job) Wait() error {
+	<-j.done
+	return j.Err
+}
+
+// Done reports whether the job has finished without blocking.
+func (j *Job) Done() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Queue accumulates jobs in arrival order. It is safe for concurrent use.
+type Queue struct {
+	mu      sync.Mutex
+	pending []*Job
+	nextSeq int
+}
+
+// NewQueue returns an empty queue.
+func NewQueue() *Queue { return &Queue{} }
+
+// Push appends a job.
+func (q *Queue) Push(j *Job) {
+	q.mu.Lock()
+	j.seq = q.nextSeq
+	q.nextSeq++
+	q.pending = append(q.pending, j)
+	q.mu.Unlock()
+}
+
+// DrainBatch removes and returns all pending jobs in arrival order.
+func (q *Queue) DrainBatch() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := q.pending
+	q.pending = nil
+	return out
+}
+
+// Len returns the number of pending jobs.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending)
+}
+
+// Plan computes the dispatch order of a batch under the given policy. The
+// order always respects (a) each (VP, stream) chain's arrival order and
+// (b) explicit Deps. Under PolicyInterleave, the planner greedily prefers a
+// ready job whose engine differs from the previously planned one, visiting
+// VPs round-robin, which interleaves copy and kernel jobs from different
+// VPs (Fig. 4a).
+func Plan(batch []*Job, policy Policy) []*Job {
+	if len(batch) <= 1 {
+		return batch
+	}
+	if policy == PolicyFIFO {
+		return planFIFO(batch)
+	}
+
+	return planInterleave(batch)
+}
+
+// planFIFO keeps arrival order except for the minimal moves needed to honour
+// explicit dependencies (a coalesced job sits at its last member's slot, so
+// earlier members' successors must slide after it): a stable topological
+// order.
+func planFIFO(batch []*Job) []*Job {
+	inBatch := make(map[*Job]bool, len(batch))
+	prevInChain := make(map[*Job]*Job, len(batch))
+	lastOfChain := map[[2]int]*Job{}
+	for _, j := range batch {
+		inBatch[j] = true
+		k := [2]int{j.VP, j.Stream}
+		prevInChain[j] = lastOfChain[k]
+		lastOfChain[k] = j
+	}
+	planned := make(map[*Job]bool, len(batch))
+	out := make([]*Job, 0, len(batch))
+	for len(out) < len(batch) {
+		progressed := false
+		for _, j := range batch {
+			if planned[j] {
+				continue
+			}
+			ok := true
+			if p := prevInChain[j]; p != nil && !planned[p] {
+				ok = false
+			}
+			for _, d := range j.Deps {
+				if inBatch[d] && !planned[d] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			planned[j] = true
+			out = append(out, j)
+			progressed = true
+		}
+		if !progressed {
+			// Malformed cycle: emit the remainder in arrival order.
+			for _, j := range batch {
+				if !planned[j] {
+					planned[j] = true
+					out = append(out, j)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func planInterleave(batch []*Job) []*Job {
+	type chainKey struct{ vp, stream int }
+	chains := map[chainKey][]*Job{}
+	var keys []chainKey
+	for _, j := range batch {
+		k := chainKey{j.VP, j.Stream}
+		if _, ok := chains[k]; !ok {
+			keys = append(keys, k)
+		}
+		chains[k] = append(chains[k], j)
+	}
+
+	planned := make(map[*Job]bool, len(batch))
+	inBatch := make(map[*Job]bool, len(batch))
+	for _, j := range batch {
+		inBatch[j] = true
+	}
+	heads := map[chainKey]int{}
+	out := make([]*Job, 0, len(batch))
+	lastEngine := ""
+	rr := 0
+
+	ready := func(j *Job) bool {
+		for _, d := range j.Deps {
+			if inBatch[d] && !planned[d] {
+				return false
+			}
+		}
+		return true
+	}
+
+	for len(out) < len(batch) {
+		// Gather the ready head of each chain.
+		var pick *Job
+		var pickKey chainKey
+		// First pass: prefer a different engine, round-robin from rr.
+		for pass := 0; pass < 2 && pick == nil; pass++ {
+			for i := 0; i < len(keys); i++ {
+				k := keys[(rr+i)%len(keys)]
+				idx := heads[k]
+				if idx >= len(chains[k]) {
+					continue
+				}
+				j := chains[k][idx]
+				if !ready(j) {
+					continue
+				}
+				if pass == 0 && lastEngine != "" && j.Engine == lastEngine {
+					continue
+				}
+				pick = j
+				pickKey = k
+				break
+			}
+		}
+		if pick == nil {
+			// Every ready head shares lastEngine and the two passes above
+			// missed it, or a (malformed) dependency cycle blocks all heads:
+			// take the first head outright to guarantee progress. Only chain
+			// heads are eligible — per-chain order is inviolable.
+			for _, k := range keys {
+				if idx := heads[k]; idx < len(chains[k]) {
+					pick = chains[k][idx]
+					pickKey = k
+					break
+				}
+			}
+		}
+		heads[pickKey]++
+		for i, k := range keys {
+			if k == pickKey {
+				rr = (i + 1) % len(keys)
+				break
+			}
+		}
+		planned[pick] = true
+		lastEngine = pick.Engine
+		out = append(out, pick)
+	}
+	return out
+}

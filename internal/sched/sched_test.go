@@ -1,0 +1,246 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hostgpu"
+)
+
+// fakeJob builds a no-op job for planner tests.
+func fakeJob(vp, stream int, engine string) *Job {
+	j := newJob(vp, stream, engine, "")
+	j.Run = func(*hostgpu.GPU) error { return nil }
+	return j
+}
+
+// burst builds the copy-in → kernel → copy-out triple of one VP iteration.
+func burst(vp int) []*Job {
+	return []*Job{
+		fakeJob(vp, vp, hostgpu.EngineH2D),
+		fakeJob(vp, vp, hostgpu.EngineCompute),
+		fakeJob(vp, vp, hostgpu.EngineD2H),
+	}
+}
+
+func positions(order []*Job) map[*Job]int {
+	m := make(map[*Job]int, len(order))
+	for i, j := range order {
+		m[j] = i
+	}
+	return m
+}
+
+func checkChainOrder(t *testing.T, batch, order []*Job) {
+	t.Helper()
+	if len(order) != len(batch) {
+		t.Fatalf("plan lost jobs: %d vs %d", len(order), len(batch))
+	}
+	pos := positions(order)
+	type key struct{ vp, stream int }
+	last := map[key]int{}
+	lastInBatch := map[key]*Job{}
+	for _, j := range batch {
+		k := key{j.VP, j.Stream}
+		if prev, ok := lastInBatch[k]; ok {
+			if pos[j] < pos[prev] {
+				t.Fatalf("chain order violated for vp%d", j.VP)
+			}
+		}
+		lastInBatch[k] = j
+		last[k] = pos[j]
+	}
+	for _, j := range batch {
+		for _, d := range j.Deps {
+			if pos[d] > pos[j] {
+				t.Fatalf("dependency violated")
+			}
+		}
+	}
+}
+
+func TestPlanFIFOPreservesArrival(t *testing.T) {
+	var batch []*Job
+	batch = append(batch, burst(1)...)
+	batch = append(batch, burst(2)...)
+	order := Plan(batch, PolicyFIFO)
+	for i := range batch {
+		if order[i] != batch[i] {
+			t.Fatal("FIFO must preserve arrival order")
+		}
+	}
+}
+
+// makespan evaluates a dispatch order with unit-duration ops. serialized
+// models the unoptimized dispatcher (each op waits for everything before
+// it); otherwise ops pipeline across engines under in-order issue:
+// start = max(engine free, chain ready, previous op's start).
+func makespan(order []*Job, serialized bool) float64 {
+	engine := map[string]float64{}
+	chain := map[[2]int]float64{}
+	last := 0.0
+	end := 0.0
+	for _, j := range order {
+		k := [2]int{j.VP, j.Stream}
+		start := engine[j.Engine]
+		if chain[k] > start {
+			start = chain[k]
+		}
+		if serialized {
+			if end > start {
+				start = end
+			}
+		} else if last > start {
+			start = last
+		}
+		last = start
+		fin := start + 1
+		engine[j.Engine] = fin
+		chain[k] = fin
+		if fin > end {
+			end = fin
+		}
+	}
+	return end
+}
+
+// TestPlanInterleaveBeatsFIFO reproduces Fig. 3: with per-VP bursts arriving
+// back-to-back, FIFO costs 3N·T under the single hardware queue while the
+// re-scheduled order costs (2+N)·T (Eqs. 7–8 with Tk = Tm = T).
+func TestPlanInterleaveBeatsFIFO(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		var batch []*Job
+		for vp := 1; vp <= n; vp++ {
+			batch = append(batch, burst(vp)...)
+		}
+		fifo := makespan(Plan(batch, PolicyFIFO), true)
+		inter := makespan(Plan(batch, PolicyInterleave), false)
+		checkChainOrder(t, batch, Plan(batch, PolicyInterleave))
+		wantFIFO := float64(3 * n)
+		wantInter := float64(2 + n)
+		if fifo != wantFIFO {
+			t.Errorf("N=%d: FIFO makespan %v, want %v", n, fifo, wantFIFO)
+		}
+		if inter > wantInter {
+			t.Errorf("N=%d: interleaved makespan %v, want ≤ %v", n, inter, wantInter)
+		}
+	}
+}
+
+func TestPlanRespectsExplicitDeps(t *testing.T) {
+	a := fakeJob(1, 1, hostgpu.EngineH2D)
+	b := fakeJob(2, 2, hostgpu.EngineH2D)
+	merged := fakeJob(-1, -1, hostgpu.EngineCompute)
+	merged.Deps = []*Job{a, b}
+	after := fakeJob(1, 1, hostgpu.EngineD2H)
+	after.Deps = []*Job{merged}
+	batch := []*Job{a, b, merged, after}
+	order := Plan(batch, PolicyInterleave)
+	checkChainOrder(t, batch, order)
+	pos := positions(order)
+	if pos[merged] < pos[a] || pos[merged] < pos[b] {
+		t.Fatal("merged ran before members' predecessors")
+	}
+	if pos[after] < pos[merged] {
+		t.Fatal("successor ran before merged")
+	}
+}
+
+// Property: for random batches, Plan emits a permutation that preserves all
+// per-chain orders and dependencies.
+func TestPlanPermutationProperty(t *testing.T) {
+	f := func(spec []uint8) bool {
+		if len(spec) > 40 {
+			spec = spec[:40]
+		}
+		var batch []*Job
+		for _, s := range spec {
+			vp := int(s % 4)
+			engine := hostgpu.EngineH2D
+			if s&4 != 0 {
+				engine = hostgpu.EngineCompute
+			}
+			batch = append(batch, fakeJob(vp, vp, engine))
+		}
+		order := Plan(batch, PolicyInterleave)
+		if len(order) != len(batch) {
+			return false
+		}
+		seen := map[*Job]bool{}
+		for _, j := range order {
+			if seen[j] {
+				return false
+			}
+			seen[j] = true
+		}
+		pos := positions(order)
+		type key struct{ vp, stream int }
+		lastPos := map[key]int{}
+		for _, j := range batch {
+			k := key{j.VP, j.Stream}
+			if p, ok := lastPos[k]; ok && pos[j] < p {
+				return false
+			}
+			lastPos[k] = pos[j]
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueDrain(t *testing.T) {
+	q := NewQueue()
+	if q.Len() != 0 {
+		t.Fatal("fresh queue not empty")
+	}
+	a := fakeJob(1, 1, hostgpu.EngineH2D)
+	b := fakeJob(2, 2, hostgpu.EngineCompute)
+	q.Push(a)
+	q.Push(b)
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	batch := q.DrainBatch()
+	if len(batch) != 2 || batch[0] != a || batch[1] != b {
+		t.Fatal("DrainBatch lost order")
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue not drained")
+	}
+	if batch[0].seq >= batch[1].seq {
+		t.Fatal("sequence numbers not increasing")
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	j := fakeJob(1, 1, hostgpu.EngineH2D)
+	if j.Done() {
+		t.Fatal("fresh job done")
+	}
+	go j.Finish(nil)
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !j.Done() {
+		t.Fatal("finished job not done")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicyFIFO.String() != "fifo" || PolicyInterleave.String() != "interleave" {
+		t.Fatal("policy names wrong")
+	}
+}
+
+func TestPlanSingleJob(t *testing.T) {
+	j := fakeJob(1, 1, hostgpu.EngineH2D)
+	order := Plan([]*Job{j}, PolicyInterleave)
+	if len(order) != 1 || order[0] != j {
+		t.Fatal("single-job plan wrong")
+	}
+	if len(Plan(nil, PolicyInterleave)) != 0 {
+		t.Fatal("empty plan wrong")
+	}
+}

@@ -1,0 +1,162 @@
+// Package trace records engine-level timelines of simulated GPU activity and
+// renders them as text Gantt charts — the visual evidence for Kernel
+// Interleaving (paper Fig. 3): with a good submission order, the Copy Engine
+// and the Compute Engine rows overlap instead of alternating.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Record is one operation on one engine.
+type Record struct {
+	Engine string  // "copy" or "compute"
+	Stream int     // stream / VP the op belongs to
+	Label  string  // e.g. "H2D 2.4MB", "matrixMul"
+	Start  float64 // seconds
+	End    float64 // seconds
+}
+
+// Duration returns the op length in seconds.
+func (r Record) Duration() float64 { return r.End - r.Start }
+
+// Log collects records. It is safe for concurrent use.
+type Log struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// New returns an empty log.
+func New() *Log { return &Log{} }
+
+// Add appends a record.
+func (l *Log) Add(r Record) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.recs = append(l.recs, r)
+}
+
+// Records returns a copy of the records sorted by start time.
+func (l *Log) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := append([]Record(nil), l.recs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Engine < out[j].Engine
+	})
+	return out
+}
+
+// Reset clears the log.
+func (l *Log) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.recs = nil
+}
+
+// Span returns the [min start, max end] of all records.
+func (l *Log) Span() (float64, float64) {
+	recs := l.Records()
+	if len(recs) == 0 {
+		return 0, 0
+	}
+	start, end := math.Inf(1), math.Inf(-1)
+	for _, r := range recs {
+		start = math.Min(start, r.Start)
+		end = math.Max(end, r.End)
+	}
+	return start, end
+}
+
+// Utilization returns, per engine, the fraction of the overall span the
+// engine was busy.
+func (l *Log) Utilization() map[string]float64 {
+	start, end := l.Span()
+	span := end - start
+	out := map[string]float64{}
+	if span <= 0 {
+		return out
+	}
+	for _, r := range l.Records() {
+		out[r.Engine] += r.Duration() / span
+	}
+	return out
+}
+
+// Gantt renders the log as a fixed-width text chart, one row per engine,
+// with stream numbers as the bar fill.
+func (l *Log) Gantt(width int) string {
+	if width < 20 {
+		width = 20
+	}
+	recs := l.Records()
+	if len(recs) == 0 {
+		return "(empty trace)\n"
+	}
+	start, end := l.Span()
+	span := end - start
+	if span <= 0 {
+		span = 1
+	}
+	engines := map[string][]Record{}
+	var names []string
+	for _, r := range recs {
+		if _, ok := engines[r.Engine]; !ok {
+			names = append(names, r.Engine)
+		}
+		engines[r.Engine] = append(engines[r.Engine], r)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "span %.3f ms\n", span*1e3)
+	for _, name := range names {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, r := range engines[name] {
+			lo := int(float64(width) * (r.Start - start) / span)
+			hi := int(float64(width) * (r.End - start) / span)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > width {
+				hi = width
+			}
+			mark := byte('0' + r.Stream%10)
+			for i := lo; i < hi; i++ {
+				row[i] = mark
+			}
+		}
+		fmt.Fprintf(&b, "%-8s |%s|\n", name, row)
+	}
+	return b.String()
+}
+
+// CSV renders the records as comma-separated rows (engine, stream, label,
+// start_s, end_s), header included — for external plotting of the
+// timelines.
+func (l *Log) CSV() string {
+	var b strings.Builder
+	b.WriteString("engine,stream,label,start_s,end_s\n")
+	for _, r := range l.Records() {
+		fmt.Fprintf(&b, "%s,%d,%q,%.9f,%.9f\n", r.Engine, r.Stream, r.Label, r.Start, r.End)
+	}
+	return b.String()
+}
+
+// PerStream returns, per stream, the total busy seconds across engines.
+func (l *Log) PerStream() map[int]float64 {
+	out := map[int]float64{}
+	for _, r := range l.Records() {
+		out[r.Stream] += r.Duration()
+	}
+	return out
+}

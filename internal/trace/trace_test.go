@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleLog() *Log {
+	l := New()
+	l.Add(Record{Engine: "copy", Stream: 1, Label: "H2D", Start: 0, End: 1})
+	l.Add(Record{Engine: "compute", Stream: 1, Label: "k", Start: 1, End: 3})
+	l.Add(Record{Engine: "copy", Stream: 2, Label: "H2D", Start: 1, End: 2})
+	return l
+}
+
+func TestRecordsSorted(t *testing.T) {
+	l := sampleLog()
+	recs := l.Records()
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Start < recs[i-1].Start {
+			t.Fatal("records not sorted")
+		}
+	}
+	if recs[0].Duration() != 1 {
+		t.Errorf("Duration = %v", recs[0].Duration())
+	}
+}
+
+func TestSpanAndUtilization(t *testing.T) {
+	l := sampleLog()
+	start, end := l.Span()
+	if start != 0 || end != 3 {
+		t.Fatalf("span = [%v, %v]", start, end)
+	}
+	u := l.Utilization()
+	if u["copy"] != 2.0/3.0 {
+		t.Errorf("copy utilization = %v", u["copy"])
+	}
+	if u["compute"] != 2.0/3.0 {
+		t.Errorf("compute utilization = %v", u["compute"])
+	}
+	empty := New()
+	if s, e := empty.Span(); s != 0 || e != 0 {
+		t.Error("empty span should be zero")
+	}
+	if len(empty.Utilization()) != 0 {
+		t.Error("empty utilization should be empty")
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	l := sampleLog()
+	s := l.Gantt(40)
+	if !strings.Contains(s, "copy") || !strings.Contains(s, "compute") {
+		t.Fatalf("Gantt missing engines:\n%s", s)
+	}
+	if !strings.Contains(s, "1") || !strings.Contains(s, "2") {
+		t.Fatalf("Gantt missing stream marks:\n%s", s)
+	}
+	if got := New().Gantt(40); !strings.Contains(got, "empty") {
+		t.Errorf("empty Gantt = %q", got)
+	}
+	// Tiny width clamps without panicking.
+	if s := l.Gantt(1); s == "" {
+		t.Error("tiny width Gantt empty")
+	}
+}
+
+func TestReset(t *testing.T) {
+	l := sampleLog()
+	l.Reset()
+	if len(l.Records()) != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestCSVAndPerStream(t *testing.T) {
+	l := sampleLog()
+	csv := l.CSV()
+	if !strings.HasPrefix(csv, "engine,stream,label,start_s,end_s\n") {
+		t.Fatalf("CSV header wrong:\n%s", csv)
+	}
+	if !strings.Contains(csv, `compute,1,"k",`) {
+		t.Errorf("CSV missing row:\n%s", csv)
+	}
+	if got := len(strings.Split(strings.TrimSpace(csv), "\n")); got != 4 {
+		t.Errorf("CSV rows = %d, want 4", got)
+	}
+	ps := l.PerStream()
+	if ps[1] != 3 || ps[2] != 1 {
+		t.Errorf("PerStream = %v", ps)
+	}
+}
