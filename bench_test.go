@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"flag"
+	"os"
 	"testing"
 
 	"repro/internal/arch"
@@ -15,6 +17,17 @@ import (
 	"repro/internal/profile"
 	"repro/internal/sched"
 )
+
+// -workers sizes the experiment-harness pool for the whole bench suite
+// (0 = one worker per CPU, 1 = serial). Reported simulated metrics are
+// identical for every value.
+var benchWorkers = flag.Int("workers", 0, "experiment-harness worker pool size (0 = NumCPU, 1 = serial)")
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	experiments.SetWorkers(*benchWorkers)
+	os.Exit(m.Run())
+}
 
 // --- One benchmark per paper table/figure. Each runs the full experiment
 // harness; the headline simulated metrics are attached via ReportMetric so
@@ -265,6 +278,18 @@ func BenchmarkInterpreterVectorAdd(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := bench.Kernel.ExecAll(env, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpreterParallelVectorAdd measures the block-parallel
+// interpreter on the same workload (0 = one worker per CPU core).
+func BenchmarkInterpreterParallelVectorAdd(b *testing.B) {
+	bench, env := vecAddEnv(b, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bench.Kernel.ExecBlocks(env, nil, 256, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

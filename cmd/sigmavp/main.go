@@ -3,7 +3,10 @@
 //
 // Usage:
 //
-//	sigmavp [-scale N] table1|fig3|fig9a|fig9b|fig10a|fig10b|fig11|fig12|fig13|sweep|scaling|all
+//	sigmavp [-scale N] [-workers N] table1|fig3|fig9a|fig9b|fig10a|fig10b|fig11|fig12|fig13|sweep|scaling|all
+//
+// -workers sizes the experiment-harness worker pool (0 = one worker per CPU,
+// 1 = serial). Results are identical for every value; only wall-clock changes.
 package main
 
 import (
@@ -17,11 +20,13 @@ import (
 func main() {
 	scale := flag.Int("scale", 8, "workload scale for fig11/fig12/fig13/sweep/scaling")
 	app := flag.String("app", "BlackScholes", "application for the scaling study")
+	workers := flag.Int("workers", 0, "experiment-harness worker pool size (0 = NumCPU, 1 = serial)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sigmavp [-scale N] table1|fig3|fig9a|fig9b|fig10a|fig10b|fig11|fig12|fig13|sweep|scaling|all\n")
+		fmt.Fprintf(os.Stderr, "usage: sigmavp [-scale N] [-workers N] table1|fig3|fig9a|fig9b|fig10a|fig10b|fig11|fig12|fig13|sweep|scaling|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	experiments.SetWorkers(*workers)
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)

@@ -158,11 +158,12 @@ func mergedPricing(g *hostgpu.GPU, members []*sched.Job) (arch.ClassVec, []cache
 func beneficial(g *hostgpu.GPU, members []*sched.Job) bool {
 	var sumSeconds, d2dBytes float64
 	for _, m := range members {
-		s, accs, err := g.ResolveSigma(m.Launch)
+		// The trial timing rides the device's launch-signature cache, so the
+		// win predictor prices repeated identical launches in O(1).
+		_, _, tm, err := g.LaunchTiming(m.Launch)
 		if err != nil {
 			return false
 		}
-		tm := hostgpu.KernelTiming(&g.Arch, m.Launch.Shape(), s.Scale(1/float64(m.Launch.Threads())), accs)
 		sumSeconds += tm.Seconds
 		for _, decl := range m.Launch.Kernel.Bufs {
 			if ptr, ok := m.Launch.Bindings[decl.Name]; ok {
@@ -311,7 +312,7 @@ func runMerged(mj *sched.Job, gpu *hostgpu.GPU, members []*sched.Job) error {
 					if err := p.job.Launch.Native(env); err != nil {
 						return err
 					}
-				} else if err := kernel.ExecAll(env, nil); err != nil {
+				} else if err := kernel.ExecBlocks(env, nil, p.job.Launch.Block, gpu.Workers); err != nil {
 					return err
 				}
 				for _, decl := range kernel.Bufs {

@@ -47,25 +47,41 @@ func (b *serviceBackend) Malloc(n int) (devmem.Ptr, error) { return b.s.GPU.Mem.
 func (b *serviceBackend) Free(p devmem.Ptr) error          { return b.s.GPU.Mem.Free(p) }
 
 func (b *serviceBackend) H2D(stream int, dst devmem.Ptr, off int, data []byte) (cudart.Token, error) {
-	j := sched.NewH2D(b.vp, streamOf(b.vp, stream), dst, off, data)
+	dev, err := streamOf(b.vp, stream)
+	if err != nil {
+		return nil, err
+	}
+	j := sched.NewH2D(b.vp, dev, dst, off, data)
 	b.s.Submit(j)
 	return jobToken{s: b.s, vp: b.vp, j: j}, nil
 }
 
 func (b *serviceBackend) D2H(stream int, src devmem.Ptr, off, n int) (cudart.Token, error) {
-	j := sched.NewD2H(b.vp, streamOf(b.vp, stream), src, off, n)
+	dev, err := streamOf(b.vp, stream)
+	if err != nil {
+		return nil, err
+	}
+	j := sched.NewD2H(b.vp, dev, src, off, n)
 	b.s.Submit(j)
 	return jobToken{s: b.s, vp: b.vp, j: j}, nil
 }
 
 func (b *serviceBackend) Memset(stream int, dst devmem.Ptr, off, n int, value byte) (cudart.Token, error) {
-	j := sched.NewMemset(b.vp, streamOf(b.vp, stream), dst, off, n, value)
+	dev, err := streamOf(b.vp, stream)
+	if err != nil {
+		return nil, err
+	}
+	j := sched.NewMemset(b.vp, dev, dst, off, n, value)
 	b.s.Submit(j)
 	return jobToken{s: b.s, vp: b.vp, j: j}, nil
 }
 
 func (b *serviceBackend) Launch(stream int, l *hostgpu.Launch) (cudart.Token, error) {
-	j := sched.NewKernel(b.vp, streamOf(b.vp, stream), l)
+	dev, err := streamOf(b.vp, stream)
+	if err != nil {
+		return nil, err
+	}
+	j := sched.NewKernel(b.vp, dev, l)
 	// The Kernel Match stage needs the coalescability of the kernel, which
 	// the registry records per benchmark.
 	if bench, err := kernels.Get(l.Kernel.Name); err == nil {

@@ -41,6 +41,11 @@ type Options struct {
 	// the hardware feature the paper contrasts its software re-scheduling
 	// against (Fig. 3a).
 	ComputeSlots int
+
+	// Workers sizes the worker pool for block-parallel kernel interpretation
+	// on the host GPU model (0 = runtime.NumCPU(), 1 = serial). Simulated
+	// time and profiles are identical for every value.
+	Workers int
 }
 
 // DefaultOptions returns a fully-optimized service on a Quadro 4000.
@@ -83,6 +88,7 @@ func NewService(opts Options) *Service {
 	// pipelines the engines.
 	g.Serialize = opts.Policy == sched.PolicyFIFO
 	g.ComputeSlots = opts.ComputeSlots
+	g.Workers = opts.Workers
 	if opts.Trace {
 		g.Trace = trace.New()
 	}
@@ -219,21 +225,33 @@ func (s *Service) Handle(vp int, req any) any {
 		}
 		return ipc.OKResp{}
 	case ipc.H2DReq:
-		j := sched.NewH2D(vp, streamOf(vp, r.Stream), r.Dst, r.Off, r.Data)
+		stream, err := streamOf(vp, r.Stream)
+		if err != nil {
+			return ipc.ErrResp{Msg: err.Error()}
+		}
+		j := sched.NewH2D(vp, stream, r.Dst, r.Off, r.Data)
 		s.Submit(j)
 		if err := s.WaitJob(vp, j); err != nil {
 			return ipc.ErrResp{Msg: err.Error()}
 		}
 		return ipc.OKResp{End: j.Interval.End}
 	case ipc.D2HReq:
-		j := sched.NewD2H(vp, streamOf(vp, r.Stream), r.Src, r.Off, r.N)
+		stream, err := streamOf(vp, r.Stream)
+		if err != nil {
+			return ipc.ErrResp{Msg: err.Error()}
+		}
+		j := sched.NewD2H(vp, stream, r.Src, r.Off, r.N)
 		s.Submit(j)
 		if err := s.WaitJob(vp, j); err != nil {
 			return ipc.ErrResp{Msg: err.Error()}
 		}
 		return ipc.D2HResp{Data: j.Data, End: j.Interval.End}
 	case ipc.MemsetReq:
-		j := sched.NewMemset(vp, streamOf(vp, r.Stream), r.Dst, r.Off, r.N, r.Value)
+		stream, err := streamOf(vp, r.Stream)
+		if err != nil {
+			return ipc.ErrResp{Msg: err.Error()}
+		}
+		j := sched.NewMemset(vp, stream, r.Dst, r.Off, r.N, r.Value)
 		s.Submit(j)
 		if err := s.WaitJob(vp, j); err != nil {
 			return ipc.ErrResp{Msg: err.Error()}
@@ -250,7 +268,11 @@ func (s *Service) Handle(vp int, req any) any {
 		}
 		return ipc.OKResp{End: j.Interval.End}
 	case ipc.SyncReq:
-		return ipc.OKResp{End: s.GPU.SyncStream(streamOf(vp, r.Stream))}
+		stream, err := streamOf(vp, r.Stream)
+		if err != nil {
+			return ipc.ErrResp{Msg: err.Error()}
+		}
+		return ipc.OKResp{End: s.GPU.SyncStream(stream)}
 	default:
 		return ipc.ErrResp{Msg: fmt.Sprintf("core: unknown request %T", req)}
 	}
@@ -282,11 +304,26 @@ func (s *Service) launchJob(vp int, r ipc.LaunchReq) (*sched.Job, error) {
 		Bindings:          bindings,
 		Native:            b.Native,
 	}
-	j := sched.NewKernel(vp, streamOf(vp, r.Stream), l)
+	stream, err := streamOf(vp, r.Stream)
+	if err != nil {
+		return nil, err
+	}
+	j := sched.NewKernel(vp, stream, l)
 	j.Coalescable = b.Coalescable
 	return j, nil
 }
 
+// streamsPerVP is the size of each VP's device-stream window. Guest streams
+// outside [0, streamsPerVP) are rejected rather than silently aliased onto a
+// neighboring VP's window (vp*64+stream mapped VP0's stream 64 onto VP1's
+// stream 0, serializing unrelated VPs' work).
+const streamsPerVP = 1 << 16
+
 // streamOf maps (VP, guest stream) onto a device stream: each VP gets its
 // own stream space, the paper's "separate streams for each VP".
-func streamOf(vp, guestStream int) int { return vp*64 + guestStream }
+func streamOf(vp, guestStream int) (int, error) {
+	if guestStream < 0 || guestStream >= streamsPerVP {
+		return 0, fmt.Errorf("core: vp %d: guest stream %d out of range [0, %d)", vp, guestStream, streamsPerVP)
+	}
+	return vp*streamsPerVP + guestStream, nil
+}

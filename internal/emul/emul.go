@@ -35,6 +35,12 @@ type Device struct {
 	// TimingOnly skips functional kernel execution (large sweeps).
 	TimingOnly bool
 
+	// Workers sizes the worker pool for block-parallel kernel
+	// interpretation (0 = runtime.NumCPU(), 1 = serial). The simulated
+	// timeline and all profiles are identical for every value — only the
+	// host wall-clock changes.
+	Workers int
+
 	mu  sync.Mutex
 	now float64
 }
@@ -139,7 +145,7 @@ func (d *Device) Launch(l *hostgpu.Launch) (*profile.Profile, hostgpu.Interval, 
 			}
 		} else {
 			st := kpl.NewStats()
-			if err := l.Kernel.ExecAll(env, st); err != nil {
+			if err := l.Kernel.ExecBlocks(env, st, l.Block, d.Workers); err != nil {
 				return nil, hostgpu.Interval{}, err
 			}
 			dyn = st

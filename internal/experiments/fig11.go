@@ -44,64 +44,83 @@ type Fig11Result struct {
 }
 
 // Fig11 runs the study at the given workload scale (the paper-equivalent
-// regime is scale ≈ 32; smaller scales keep the same shape).
+// regime is scale ≈ 32; smaller scales keep the same shape). The per-
+// application cells are independent — each builds its own devices — and run
+// concurrently on the harness worker pool; row order and every number are
+// identical to the serial harness.
 func Fig11(scale int) (*Fig11Result, error) {
 	const nVPs = 8
 	if scale < 1 {
 		scale = 1
 	}
 	res := &Fig11Result{VPs: nVPs, Scale: scale}
-	guest := arch.ARMVersatile()
-	ipc := DefaultIPC()
-
-	for _, bench := range kernels.All() {
-		w := bench.MakeWorkload(scale)
-
-		// --- Scenario 1: GPU emulation on the VP. Multi-VP QEMU simulations
-		// execute the VP instances through one simulation loop (netShip-style
-		// co-simulation), so completing all eight emulated VPs costs eight
-		// times one VP's emulated application time. ---
-		kl := kir.Launch{NThreads: w.Threads(), Params: w.Params}
-		sigma, err := staticOrSampledSigma(bench, w, kl)
+	benches := kernels.All()
+	res.Rows = make([]Fig11Row, len(benches))
+	err := forEach(len(benches), func(i int) error {
+		row, err := fig11Row(benches[i], scale, nVPs)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", bench.Name, err)
+			return fmt.Errorf("%s: %w", benches[i].Name, err)
 		}
-		inBytes, outBytes := 0, 0
-		for _, d := range w.Inputs {
-			inBytes += len(d)
-		}
-		for _, name := range w.OutBufs {
-			outBytes += w.BufBytes[name]
-		}
-		perIterEmul := cpumodel.EmulTime(&guest, sigma, w.Threads())
-		memcpySec := cpumodel.MemcpyTime(&guest, inBytes+outBytes)
-		if bench.CopyEachIteration {
-			perIterEmul += memcpySec
-			memcpySec = 0
-		}
-		emulSec := float64(nVPs) * (float64(bench.Iterations)*(perIterEmul+bench.NonCUDAVPSeconds) + memcpySec)
-		res.Rows = append(res.Rows, Fig11Row{App: bench.Name, EmulSec: emulSec})
-		row := &res.Rows[len(res.Rows)-1]
-
-		// --- Scenarios 2–3: ΣVP without and with the optimizations. ---
-		for _, optimized := range []bool{false, true} {
-			sec, err := runSigmaVP(bench, w, nVPs, optimized, ipc)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", bench.Name, err)
-			}
-			// The non-CUDA portions (OpenGL through Mesa, file I/O) run on
-			// the VP in every scenario and are not accelerated.
-			sec += float64(bench.Iterations) * bench.NonCUDAVPSeconds
-			if optimized {
-				row.OptSec = sec
-			} else {
-				row.PlainSec = sec
-			}
-		}
-		row.SpeedupPlain = row.EmulSec / row.PlainSec
-		row.SpeedupOpt = row.EmulSec / row.OptSec
+		res.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
+}
+
+// fig11Row runs the three scenarios of one application.
+func fig11Row(bench *kernels.Benchmark, scale, nVPs int) (Fig11Row, error) {
+	guest := arch.ARMVersatile()
+	ipc := DefaultIPC()
+	w := bench.MakeWorkload(scale)
+
+	// --- Scenario 1: GPU emulation on the VP. Multi-VP QEMU simulations
+	// execute the VP instances through one simulation loop (netShip-style
+	// co-simulation), so completing all eight emulated VPs costs eight
+	// times one VP's emulated application time. ---
+	kl := kir.Launch{NThreads: w.Threads(), Params: w.Params}
+	sigma, err := staticOrSampledSigma(bench, w, kl)
+	if err != nil {
+		return Fig11Row{}, err
+	}
+	inBytes, outBytes := 0, 0
+	for _, d := range w.Inputs {
+		inBytes += len(d)
+	}
+	for _, name := range w.OutBufs {
+		outBytes += w.BufBytes[name]
+	}
+	perIterEmul := cpumodel.EmulTime(&guest, sigma, w.Threads())
+	memcpySec := cpumodel.MemcpyTime(&guest, inBytes+outBytes)
+	if bench.CopyEachIteration {
+		perIterEmul += memcpySec
+		memcpySec = 0
+	}
+	row := Fig11Row{
+		App:     bench.Name,
+		EmulSec: float64(nVPs) * (float64(bench.Iterations)*(perIterEmul+bench.NonCUDAVPSeconds) + memcpySec),
+	}
+
+	// --- Scenarios 2–3: ΣVP without and with the optimizations. ---
+	for _, optimized := range []bool{false, true} {
+		sec, err := runSigmaVP(bench, w, nVPs, optimized, ipc)
+		if err != nil {
+			return Fig11Row{}, err
+		}
+		// The non-CUDA portions (OpenGL through Mesa, file I/O) run on
+		// the VP in every scenario and are not accelerated.
+		sec += float64(bench.Iterations) * bench.NonCUDAVPSeconds
+		if optimized {
+			row.OptSec = sec
+		} else {
+			row.PlainSec = sec
+		}
+	}
+	row.SpeedupPlain = row.EmulSec / row.PlainSec
+	row.SpeedupOpt = row.EmulSec / row.OptSec
+	return row, nil
 }
 
 // staticOrSampledSigma derives the canonical σ of one launch, interpreting a

@@ -41,56 +41,77 @@ type Fig12Result struct {
 	Rows []Fig12Row
 }
 
-// Fig12 runs the study at the given workload scale.
+// Fig12 runs the study at the given workload scale. Per-application cells
+// run concurrently on the harness pool; rows flatten in application order,
+// matching the serial study exactly.
 func Fig12(scale int) (*Fig12Result, error) {
 	if scale < 1 {
 		scale = 1
 	}
-	tegra := arch.TegraK1()
+	cells := make([][]Fig12Row, len(estimationApps))
+	err := forEach(len(estimationApps), func(i int) error {
+		rows, err := fig12Cell(estimationApps[i], scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", estimationApps[i], err)
+		}
+		cells[i] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig12Result{}
-	for _, name := range estimationApps {
-		bench, err := kernels.Get(name)
-		if err != nil {
-			return nil, err
-		}
-		w := bench.MakeWorkload(scale)
-
-		// "Measured" execution on the actual target device.
-		targetProf, err := measureOn(&tegra, bench, w)
-		if err != nil {
-			return nil, err
-		}
-
-		for _, host := range arch.HostGPUs() {
-			host := host
-			hostProf, err := measureOn(&host, bench, w)
-			if err != nil {
-				return nil, err
-			}
-			in, err := estimatorInputs(&host, &tegra, bench, w, hostProf)
-			if err != nil {
-				return nil, err
-			}
-			r, err := estimate.Estimate(in)
-			if err != nil {
-				return nil, err
-			}
-			norm := targetProf.TimeSec
-			res.Rows = append(res.Rows, Fig12Row{
-				Kernel:         name,
-				Host:           host.Name,
-				HostTime:       hostProf.TimeSec / norm,
-				Target:         1,
-				C:              r.TimeC / norm,
-				C1:             r.TimeC1 / norm,
-				C2:             r.TimeC2 / norm,
-				MeasuredSec:    targetProf.TimeSec,
-				MeasuredPowerW: targetProf.PowerW(),
-				EstPowerW:      r.PowerW,
-			})
-		}
+	for _, rows := range cells {
+		res.Rows = append(res.Rows, rows...)
 	}
 	return res, nil
+}
+
+// fig12Cell runs one application against the target and every host GPU.
+func fig12Cell(name string, scale int) ([]Fig12Row, error) {
+	bench, err := kernels.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	tegra := arch.TegraK1()
+	w := bench.MakeWorkload(scale)
+
+	// "Measured" execution on the actual target device.
+	targetProf, err := measureOn(&tegra, bench, w)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []Fig12Row
+	for _, host := range arch.HostGPUs() {
+		host := host
+		hostProf, err := measureOn(&host, bench, w)
+		if err != nil {
+			return nil, err
+		}
+		in, err := estimatorInputs(&host, &tegra, bench, w, hostProf)
+		if err != nil {
+			return nil, err
+		}
+		r, err := estimate.Estimate(in)
+		if err != nil {
+			return nil, err
+		}
+		norm := targetProf.TimeSec
+		rows = append(rows, Fig12Row{
+			Kernel:         name,
+			Host:           host.Name,
+			HostTime:       hostProf.TimeSec / norm,
+			Target:         1,
+			C:              r.TimeC / norm,
+			C1:             r.TimeC1 / norm,
+			C2:             r.TimeC2 / norm,
+			MeasuredSec:    targetProf.TimeSec,
+			MeasuredPowerW: targetProf.PowerW(),
+			EstPowerW:      r.PowerW,
+		})
+	}
+	return rows, nil
 }
 
 // measureOn provisions and launches the benchmark once on the given

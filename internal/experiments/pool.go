@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The concurrent experiment harness: independent (benchmark × config) cells
+// of a study run on a bounded worker pool. Every cell builds its own device
+// instances, so cells share nothing; results land in preallocated slots
+// indexed by cell, which keeps output ordering — and therefore every emitted
+// number — byte-identical to the serial harness for any worker count.
+
+var (
+	workerMu    sync.RWMutex
+	workerCount = runtime.NumCPU()
+)
+
+// SetWorkers sizes the harness worker pool (and is what the -workers flag on
+// cmd/sigmavp and the bench suite control). n <= 0 restores runtime.NumCPU();
+// n == 1 runs every study serially.
+func SetWorkers(n int) {
+	workerMu.Lock()
+	defer workerMu.Unlock()
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	workerCount = n
+}
+
+// Workers returns the current harness pool size.
+func Workers() int {
+	workerMu.RLock()
+	defer workerMu.RUnlock()
+	return workerCount
+}
+
+// forEach runs fn(0) … fn(n-1) on min(Workers, n) goroutines and returns the
+// lowest-index error — the same error the serial loop would surface. fn must
+// write its result into a caller-owned slot for index i; slots make the
+// result ordering deterministic regardless of completion order.
+func forEach(n int, fn func(i int) error) error {
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	next := int64(-1)
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

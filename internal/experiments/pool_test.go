@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachOrderAndError: slots land at their own index and the reported
+// error is the one the serial loop would surface (lowest index).
+func TestForEachOrderAndError(t *testing.T) {
+	defer SetWorkers(0)
+	for _, w := range []int{1, 2, 4, 9} {
+		SetWorkers(w)
+		got := make([]int, 100)
+		if err := forEach(100, func(i int) error {
+			got[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", w, i, v, i*i)
+			}
+		}
+
+		err := forEach(100, func(i int) error {
+			if i == 97 || i == 13 || i == 55 {
+				return fmt.Errorf("cell %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "cell 13 failed" {
+			t.Fatalf("workers=%d: err = %v, want the lowest-index failure", w, err)
+		}
+	}
+}
+
+// TestForEachWorkerCap: no more than Workers() goroutines run concurrently.
+func TestForEachWorkerCap(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(3)
+	var cur, peak atomic.Int64
+	if err := forEach(64, func(i int) error {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		cur.Add(-1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > 3 {
+		t.Fatalf("observed %d concurrent cells, want <= 3", peak.Load())
+	}
+}
+
+// TestStudiesDeterministicAcrossWorkerCounts is the harness determinism
+// property: the concurrent studies emit byte-identical results for any pool
+// size.
+func TestStudiesDeterministicAcrossWorkerCounts(t *testing.T) {
+	defer SetWorkers(0)
+
+	SetWorkers(1)
+	f11Serial, err := Fig11(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepSerial, err := EstimationSweep(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalSerial, err := Scaling("BlackScholes", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, w := range []int{4, 0} {
+		SetWorkers(w)
+		f11, err := Fig11(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(f11, f11Serial) {
+			t.Fatalf("workers=%d: Fig11 differs from serial", w)
+		}
+		sweep, err := EstimationSweep(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sweep, sweepSerial) {
+			t.Fatalf("workers=%d: EstimationSweep differs from serial", w)
+		}
+		scal, err := Scaling("BlackScholes", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(scal, scalSerial) {
+			t.Fatalf("workers=%d: Scaling differs from serial", w)
+		}
+	}
+}
+
+// TestSetWorkersRestoresDefault: n <= 0 restores the CPU count.
+func TestSetWorkersRestoresDefault(t *testing.T) {
+	SetWorkers(5)
+	if Workers() != 5 {
+		t.Fatalf("Workers() = %d, want 5", Workers())
+	}
+	SetWorkers(0)
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d after reset, want >= 1", Workers())
+	}
+	var sentinel = errors.New("x")
+	if err := forEach(0, func(int) error { return sentinel }); err != nil {
+		t.Fatalf("forEach(0) = %v, want nil", err)
+	}
+}

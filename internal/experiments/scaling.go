@@ -43,27 +43,34 @@ func Scaling(app string, scale int) (*ScalingResult, error) {
 	}
 	res := &ScalingResult{App: app}
 	ipc := DefaultIPC()
-	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+	counts := []int{1, 2, 4, 8, 16, 32}
+	res.Points = make([]ScalingPoint, len(counts))
+	err = forEach(len(counts), func(i int) error {
+		n := counts[i]
 		emulSec, err := emulScenario(bench, scale, n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		plain, err := runSigmaVPN(bench, scale, n, false, ipc)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		opt, err := runSigmaVPN(bench, scale, n, true, ipc)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Points = append(res.Points, ScalingPoint{
+		res.Points[i] = ScalingPoint{
 			VPs:          n,
 			EmulSec:      emulSec,
 			PlainSec:     plain,
 			OptSec:       opt,
 			SpeedupPlain: emulSec / plain,
 			SpeedupOpt:   emulSec / opt,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -29,44 +29,31 @@ type SweepResult struct {
 	MeanAbsPowerErr                float64
 }
 
-// EstimationSweep runs the ladder for every benchmark on both host GPUs.
+// EstimationSweep runs the ladder for every benchmark on both host GPUs. The
+// per-benchmark cells run concurrently on the harness pool; the accuracy
+// accumulators are folded serially in benchmark order afterwards, so every
+// reported number is identical to the serial sweep.
 func EstimationSweep(scale int) (*SweepResult, error) {
 	if scale < 1 {
 		scale = 1
 	}
-	tegra := arch.TegraK1()
+	benches := kernels.All()
+	cells := make([][]SweepRow, len(benches))
+	err := forEach(len(benches), func(i int) error {
+		rows, err := sweepCell(benches[i], scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", benches[i].Name, err)
+		}
+		cells[i] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &SweepResult{}
 	n := 0.0
-	for _, bench := range kernels.All() {
-		name := bench.Name
-		w := bench.MakeWorkload(scale)
-		targetProf, err := measureOn(&tegra, bench, w)
-		if err != nil {
-			return nil, err
-		}
-		for _, host := range arch.HostGPUs() {
-			host := host
-			hostProf, err := measureOn(&host, bench, w)
-			if err != nil {
-				return nil, err
-			}
-			in, err := estimatorInputs(&host, &tegra, bench, w, hostProf)
-			if err != nil {
-				return nil, err
-			}
-			r, err := estimate.Estimate(in)
-			if err != nil {
-				return nil, err
-			}
-			norm := targetProf.TimeSec
-			row := SweepRow{
-				Kernel:   name,
-				Host:     host.Name,
-				C:        r.TimeC / norm,
-				C1:       r.TimeC1 / norm,
-				C2:       r.TimeC2 / norm,
-				PowerErr: (r.PowerW - targetProf.PowerW()) / targetProf.PowerW(),
-			}
+	for _, rows := range cells {
+		for _, row := range rows {
 			res.Rows = append(res.Rows, row)
 			res.MeanAbsC += math.Abs(row.C - 1)
 			res.MeanAbsC1 += math.Abs(row.C1 - 1)
@@ -83,6 +70,43 @@ func EstimationSweep(scale int) (*SweepResult, error) {
 	res.MeanAbsC2 /= n
 	res.MeanAbsPowerErr /= n
 	return res, nil
+}
+
+// sweepCell runs one benchmark's target measurement plus the estimation
+// ladder through every host GPU.
+func sweepCell(bench *kernels.Benchmark, scale int) ([]SweepRow, error) {
+	tegra := arch.TegraK1()
+	w := bench.MakeWorkload(scale)
+	targetProf, err := measureOn(&tegra, bench, w)
+	if err != nil {
+		return nil, err
+	}
+	var rows []SweepRow
+	for _, host := range arch.HostGPUs() {
+		host := host
+		hostProf, err := measureOn(&host, bench, w)
+		if err != nil {
+			return nil, err
+		}
+		in, err := estimatorInputs(&host, &tegra, bench, w, hostProf)
+		if err != nil {
+			return nil, err
+		}
+		r, err := estimate.Estimate(in)
+		if err != nil {
+			return nil, err
+		}
+		norm := targetProf.TimeSec
+		rows = append(rows, SweepRow{
+			Kernel:   bench.Name,
+			Host:     host.Name,
+			C:        r.TimeC / norm,
+			C1:       r.TimeC1 / norm,
+			C2:       r.TimeC2 / norm,
+			PowerErr: (r.PowerW - targetProf.PowerW()) / targetProf.PowerW(),
+		})
+	}
+	return rows, nil
 }
 
 func (r *SweepResult) String() string {

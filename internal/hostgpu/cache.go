@@ -1,0 +1,166 @@
+package hostgpu
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/cachemodel"
+	"repro/internal/kpl"
+)
+
+// The launch-signature timing cache.
+//
+// σ derivation, access-stream construction and the analytic timing model are
+// pure functions of (kernel, launch geometry, scalar parameters, buffer
+// sizes, pre-measured dynamic stats) on a fixed architecture — yet the
+// experiment harnesses evaluate them for the *same* launch thousands of
+// times: every iteration of an Iterations-heavy Fig. 11 application re-prices
+// an identical launch per VP, and the coalesce win predictor re-times every
+// group member per merge window. The cache memoizes the full
+// (σ, accesses, Timing) triple under a collision-free string key.
+//
+// Launches whose pricing depends on live device-memory *contents* are never
+// cached: data-dependent kernels without pre-measured Dyn stats sample λ from
+// the current buffers at launch time, and override launches (coalesced
+// merges) carry externally-summed σ.
+
+// timingEntry is one memoized pricing. accesses and sigma are shared across
+// hits and must be treated as read-only by callers.
+type timingEntry struct {
+	sigma     arch.ClassVec
+	accesses  []cachemodel.Access
+	timing    Timing
+	hasTiming bool
+}
+
+// timingKey builds the cache key of a launch, or reports it uncacheable.
+// The key covers everything the pricing depends on besides the (fixed)
+// architecture: kernel structure, grid/block/shared/regs, scalar parameters,
+// per-buffer allocation sizes (the cache model reads them), and a fingerprint
+// of the pre-measured dynamic stats.
+func (g *GPU) timingKey(l *Launch) (string, bool) {
+	if g.NoTimingCache || l.SigmaOverride != nil || l.AccessesOverride != nil || l.ExecOverride != nil {
+		return "", false
+	}
+	if l.Dyn == nil && l.Prog.NeedsDynamicProfile() {
+		// λ must be sampled from live device memory at launch time; the
+		// result depends on buffer contents the key cannot see.
+		return "", false
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%x|%d|%d|%d|%d", l.Kernel.Signature(), l.Grid, l.Block, l.SharedMemPerBlock, l.RegsPerThread)
+	names := make([]string, 0, len(l.Params))
+	for name := range l.Params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := l.Params[name]
+		fmt.Fprintf(&b, "|%s=%d:%g:%d", name, v.T, v.F, v.I)
+	}
+	for _, decl := range l.Kernel.Bufs {
+		ptr, ok := l.Bindings[decl.Name]
+		if !ok {
+			return "", false
+		}
+		size, err := g.Mem.Size(ptr)
+		if err != nil {
+			return "", false
+		}
+		fmt.Fprintf(&b, "|%s#%d", decl.Name, size)
+	}
+	if l.Dyn != nil {
+		fmt.Fprintf(&b, "|dyn:%x", dynFingerprint(l.Dyn))
+	}
+	return b.String(), true
+}
+
+// dynFingerprint hashes the contents of pre-measured dynamic stats.
+func dynFingerprint(st *kpl.Stats) uint64 {
+	h := fnv.New64a()
+	for c, v := range st.Instr {
+		fmt.Fprintf(h, "i%d=%g;", c, v)
+	}
+	hashInt64Map(h, "t", st.Trips)
+	hashInt64Map(h, "e", st.Entries)
+	hashInt64Map(h, "l", st.BufLd)
+	hashInt64Map(h, "s", st.BufSt)
+	fmt.Fprintf(h, "n=%d", st.Threads)
+	return h.Sum64()
+}
+
+func hashInt64Map(h io.Writer, tag string, m map[string]int64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s%s=%d;", tag, k, m[k])
+	}
+}
+
+// cacheLookup returns the memoized entry for key, maintaining the hit/miss
+// counters.
+func (g *GPU) cacheLookup(key string) *timingEntry {
+	g.cacheMu.RLock()
+	e := g.timingCache[key]
+	g.cacheMu.RUnlock()
+	if e != nil {
+		g.cacheHits.Add(1)
+	} else {
+		g.cacheMisses.Add(1)
+	}
+	return e
+}
+
+func (g *GPU) cacheStore(key string, e *timingEntry) {
+	g.cacheMu.Lock()
+	if g.timingCache == nil {
+		g.timingCache = map[string]*timingEntry{}
+	}
+	g.timingCache[key] = e
+	g.cacheMu.Unlock()
+}
+
+// LaunchTiming returns the launch's σ, cache-model access streams and
+// analytic timing breakdown, memoized by launch signature. The device's
+// Launch path and the coalescer's win predictor share the cache, so repeated
+// identical launches — the steady state of every Iterations-heavy
+// application — price in O(1).
+func (g *GPU) LaunchTiming(l *Launch) (arch.ClassVec, []cachemodel.Access, Timing, error) {
+	key, cacheable := g.timingKey(l)
+	var sigma arch.ClassVec
+	var accesses []cachemodel.Access
+	var have bool
+	if cacheable {
+		if e := g.cacheLookup(key); e != nil {
+			if e.hasTiming {
+				return e.sigma, e.accesses, e.timing, nil
+			}
+			sigma, accesses, have = e.sigma, e.accesses, true
+		}
+	}
+	if !have {
+		var err error
+		sigma, accesses, err = g.deriveSigma(l)
+		if err != nil {
+			return arch.ClassVec{}, nil, Timing{}, err
+		}
+	}
+	timing := KernelTiming(&g.Arch, l.Shape(), sigma.Scale(1/float64(l.Threads())), accesses)
+	if cacheable {
+		g.cacheStore(key, &timingEntry{sigma: sigma, accesses: accesses, timing: timing, hasTiming: true})
+	}
+	return sigma, accesses, timing, nil
+}
+
+// TimingCacheStats returns the hit/miss counters of the launch-signature
+// timing cache.
+func (g *GPU) TimingCacheStats() (hits, misses uint64) {
+	return g.cacheHits.Load(), g.cacheMisses.Load()
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/arch"
 	"repro/internal/cachemodel"
@@ -128,6 +129,15 @@ type GPU struct {
 	// Trace optionally records the engine timeline.
 	Trace *trace.Log
 
+	// Workers sizes the worker pool for block-parallel functional kernel
+	// interpretation in ExecFull mode (0 = runtime.NumCPU(), 1 = serial).
+	// Simulated-time results are identical for every value.
+	Workers int
+
+	// NoTimingCache disables the launch-signature timing cache (for
+	// equivalence testing; the cache never changes results).
+	NoTimingCache bool
+
 	mu           sync.Mutex
 	engineFree   map[string]float64
 	computeSlots []float64 // per-slot free times under CKE
@@ -135,6 +145,11 @@ type GPU struct {
 	lastIssue    float64
 	busy         map[string]float64 // accumulated busy seconds per engine
 	kernelEnergy float64            // accumulated kernel energies (dynamic + per-launch static)
+
+	cacheMu     sync.RWMutex
+	timingCache map[string]*timingEntry
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
 }
 
 // New returns a GPU with the given descriptor and device memory capacity.
@@ -145,6 +160,7 @@ func New(a arch.GPU, memBytes int64) *GPU {
 		engineFree:  map[string]float64{},
 		streamReady: map[int]float64{},
 		busy:        map[string]float64{},
+		timingCache: map[string]*timingEntry{},
 	}
 }
 
@@ -264,13 +280,10 @@ func (g *GPU) Launch(stream int, l *Launch) (*profile.Profile, Interval, error) 
 		return nil, Interval{}, fmt.Errorf("hostgpu: %s: invalid launch %d×%d", l.Kernel.Name, l.Grid, l.Block)
 	}
 
-	sigma, accesses, err := g.ResolveSigma(l)
+	sigma, _, timing, err := g.LaunchTiming(l)
 	if err != nil {
 		return nil, Interval{}, err
 	}
-	sigmaThread := sigma.Scale(1 / float64(l.Threads()))
-
-	timing := KernelTiming(&g.Arch, l.Shape(), sigmaThread, accesses)
 
 	if g.Mode == ExecFull {
 		if l.ExecOverride != nil {
@@ -324,8 +337,24 @@ func (g *GPU) SessionEnergy() float64 {
 // ResolveSigma derives the launch's σ on this device's architecture and its
 // cache-model access streams, honouring overrides and sampling λ for
 // data-dependent kernels (paper footnote 2). The coalescer uses it to price
-// the pieces of a merged launch.
+// the pieces of a merged launch. Results are memoized by launch signature
+// whenever the derivation cannot depend on live buffer contents.
 func (g *GPU) ResolveSigma(l *Launch) (arch.ClassVec, []cachemodel.Access, error) {
+	key, cacheable := g.timingKey(l)
+	if cacheable {
+		if e := g.cacheLookup(key); e != nil {
+			return e.sigma, e.accesses, nil
+		}
+	}
+	sigma, accesses, err := g.deriveSigma(l)
+	if err == nil && cacheable {
+		g.cacheStore(key, &timingEntry{sigma: sigma, accesses: accesses})
+	}
+	return sigma, accesses, err
+}
+
+// deriveSigma is the uncached σ/access-stream derivation behind ResolveSigma.
+func (g *GPU) deriveSigma(l *Launch) (arch.ClassVec, []cachemodel.Access, error) {
 	if l.SigmaOverride != nil {
 		return *l.SigmaOverride, l.AccessesOverride, nil
 	}
@@ -373,13 +402,14 @@ func (g *GPU) bindEnv(l *Launch) (*kpl.Env, error) {
 }
 
 // execute runs the kernel's semantics and writes results back to device
-// memory.
+// memory. Interpreted kernels fan their thread blocks out over the device's
+// worker pool; the result is bit-identical to serial interpretation.
 func (g *GPU) execute(l *Launch, env *kpl.Env) error {
 	if l.Native != nil {
 		if err := l.Native(env); err != nil {
 			return fmt.Errorf("hostgpu: %s: native execution: %w", l.Kernel.Name, err)
 		}
-	} else if err := l.Kernel.ExecAll(env, nil); err != nil {
+	} else if err := l.Kernel.ExecBlocks(env, nil, l.Block, g.Workers); err != nil {
 		return err
 	}
 	for _, decl := range l.Kernel.Bufs {

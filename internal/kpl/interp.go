@@ -2,6 +2,7 @@ package kpl
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/arch"
 )
@@ -275,22 +276,57 @@ func (in *interp) exec(stmts []Stmt) ctl {
 	return ctlNone
 }
 
-// ExecThread interprets one thread of the kernel. Statistics are accumulated
-// into st when non-nil.
-func (k *Kernel) ExecThread(tid int, env *Env, st *Stats) (err error) {
+// interpPool recycles interpreter states — including their variable maps —
+// across threads, launches and worker goroutines. Without it every thread of
+// every launch allocates a fresh interp plus a vars map, and that churn
+// dominates block-parallel interpretation.
+var interpPool = sync.Pool{
+	New: func() any { return &interp{vars: make(map[string]Value, 8)} },
+}
+
+// runThread interprets one thread on an already-configured interpreter,
+// converting interpreter panics into errors. Variables are cleared so the
+// thread starts fresh, as GPU semantics require.
+func (in *interp) runThread(tid int) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if p, ok := r.(interpPanic); ok {
-				err = &Error{Kernel: k.Name, TID: tid, Msg: p.msg}
+				err = &Error{Kernel: in.k.Name, TID: tid, Msg: p.msg}
 				return
 			}
 			panic(r)
 		}
 	}()
-	in := &interp{k: k, env: env, st: st, tid: tid, vars: make(map[string]Value, 8)}
-	in.exec(k.Body)
-	if st != nil {
-		st.Threads++
+	in.tid = tid
+	clear(in.vars)
+	in.exec(in.k.Body)
+	return nil
+}
+
+// ExecThread interprets one thread of the kernel. Statistics are accumulated
+// into st when non-nil.
+func (k *Kernel) ExecThread(tid int, env *Env, st *Stats) error {
+	return k.ExecRange(tid, tid+1, env, st)
+}
+
+// ExecRange interprets threads [lo, hi) in thread-index order, reusing one
+// pooled interpreter state for the whole range. Statistics are accumulated
+// into st when non-nil. It is the sequential building block the
+// block-parallel engine hands to each worker.
+func (k *Kernel) ExecRange(lo, hi int, env *Env, st *Stats) error {
+	in := interpPool.Get().(*interp)
+	in.k, in.env, in.st = k, env, st
+	defer func() {
+		in.k, in.env, in.st = nil, nil, nil
+		interpPool.Put(in)
+	}()
+	for tid := lo; tid < hi; tid++ {
+		if err := in.runThread(tid); err != nil {
+			return err
+		}
+		if st != nil {
+			st.Threads++
+		}
 	}
 	return nil
 }
@@ -298,12 +334,7 @@ func (k *Kernel) ExecThread(tid int, env *Env, st *Stats) (err error) {
 // ExecAll interprets every thread of the launch sequentially, in thread-index
 // order — exactly what a software GPU emulator does.
 func (k *Kernel) ExecAll(env *Env, st *Stats) error {
-	for tid := 0; tid < env.NThreads; tid++ {
-		if err := k.ExecThread(tid, env, st); err != nil {
-			return err
-		}
-	}
-	return nil
+	return k.ExecRange(0, env.NThreads, env, st)
 }
 
 // SampleStats interprets up to sample threads spread evenly across the launch

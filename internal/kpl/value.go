@@ -75,6 +75,39 @@ type Buffer struct {
 	F32s []float32
 	F64s []float64
 	I32s []int32
+
+	// written, when armed by trackWrites, records which elements Set/AddAt
+	// touched — the block-parallel engine uses it to merge per-worker shadow
+	// copies back in block order.
+	written []bool
+}
+
+// trackWrites arms per-element write tracking on the buffer.
+func (b *Buffer) trackWrites() { b.written = make([]bool, b.Len()) }
+
+// applyWrites copies every element src recorded as written into b. Both
+// buffers must share element type and length.
+func (b *Buffer) applyWrites(src *Buffer) {
+	switch b.Elem {
+	case F32:
+		for i, w := range src.written {
+			if w {
+				b.F32s[i] = src.F32s[i]
+			}
+		}
+	case F64:
+		for i, w := range src.written {
+			if w {
+				b.F64s[i] = src.F64s[i]
+			}
+		}
+	default:
+		for i, w := range src.written {
+			if w {
+				b.I32s[i] = src.I32s[i]
+			}
+		}
+	}
 }
 
 // NewBuffer allocates a zeroed buffer of n elements of type t.
@@ -125,6 +158,9 @@ func (b *Buffer) Set(i int, v Value) {
 	default:
 		b.I32s[i] = int32(v.Int())
 	}
+	if b.written != nil {
+		b.written[i] = true
+	}
 }
 
 // AddAt performs element i += v, used by AtomicAdd.
@@ -136,6 +172,9 @@ func (b *Buffer) AddAt(i int, v Value) {
 		b.F64s[i] += v.Float()
 	default:
 		b.I32s[i] += int32(v.Int())
+	}
+	if b.written != nil {
+		b.written[i] = true
 	}
 }
 

@@ -1,0 +1,21 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// BenchmarkEstimationSweep regenerates the full-suite estimation sweep (the
+// extended Fig. 12/13 study) — the heaviest harness after Fig. 11.
+func BenchmarkEstimationSweep(b *testing.B) {
+	var last *experiments.SweepResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.EstimationSweep(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.MeanAbsC2, "mean-C2-error")
+}
