@@ -3,7 +3,12 @@
 //
 // Usage:
 //
-//	sigmavp [-scale N] [-workers N] table1|fig3|fig9a|fig9b|fig10a|fig10b|fig11|fig12|fig13|sweep|scaling|all
+//	sigmavp [-scale N] [-workers N] table1|fig3|fig9a|fig9b|fig10a|fig10b|fig11|fig12|fig13|sweep|scaling|faults|all
+//
+// "faults" runs the fault-injection drill: a fleet of VPs exercising the TCP
+// IPC stack while the client transport injects seeded drop/delay/corrupt/
+// disconnect faults (-faults configures the schedule). It is a robustness
+// check, not a paper artifact, so "all" does not include it.
 //
 // -workers sizes the experiment-harness worker pool (0 = one worker per CPU,
 // 1 = serial). Results are identical for every value; only wall-clock changes.
@@ -21,8 +26,10 @@ func main() {
 	scale := flag.Int("scale", 8, "workload scale for fig11/fig12/fig13/sweep/scaling")
 	app := flag.String("app", "BlackScholes", "application for the scaling study")
 	workers := flag.Int("workers", 0, "experiment-harness worker pool size (0 = NumCPU, 1 = serial)")
+	faults := flag.String("faults", "seed=1,drop=0.05,delay=0.2,maxdelay=5ms,corrupt=0.02,disconnect=0.02",
+		"fault-injection spec for the faults drill (key=value pairs; see internal/ipc.ParseFaults)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sigmavp [-scale N] [-workers N] table1|fig3|fig9a|fig9b|fig10a|fig10b|fig11|fig12|fig13|sweep|scaling|all\n")
+		fmt.Fprintf(os.Stderr, "usage: sigmavp [-scale N] [-workers N] [-faults SPEC] table1|fig3|fig9a|fig9b|fig10a|fig10b|fig11|fig12|fig13|sweep|scaling|faults|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -34,6 +41,7 @@ func main() {
 
 	runners := map[string]func() (fmt.Stringer, error){
 		"table1":  func() (fmt.Stringer, error) { return experiments.Table1() },
+		"fig3":    func() (fmt.Stringer, error) { return experiments.Fig3() },
 		"fig9a":   func() (fmt.Stringer, error) { return experiments.Fig9a() },
 		"fig9b":   func() (fmt.Stringer, error) { return experiments.Fig9b() },
 		"fig10a":  func() (fmt.Stringer, error) { return experiments.Fig10a() },
@@ -43,7 +51,10 @@ func main() {
 		"fig13":   func() (fmt.Stringer, error) { return experiments.Fig13(*scale) },
 		"sweep":   func() (fmt.Stringer, error) { return experiments.EstimationSweep(*scale) },
 		"scaling": func() (fmt.Stringer, error) { return experiments.Scaling(*app, *scale) },
+		"faults":  func() (fmt.Stringer, error) { return experiments.FaultDrill(*faults, 4, 4) },
 	}
+	// "faults" is deliberately absent: it is a robustness drill, not a paper
+	// artifact, and must not perturb `sigmavp all` regeneration output.
 	order := []string{"table1", "fig3", "fig9a", "fig9b", "fig10a", "fig10b", "fig11", "fig12", "fig13", "sweep", "scaling"}
 
 	what := flag.Arg(0)

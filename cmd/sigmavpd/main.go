@@ -48,7 +48,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sigmavpd:", err)
 		os.Exit(1)
 	}
-	srv := ipc.ServeWithHooks(l, svc.Handle, svc.RegisterVP, svc.UnregisterVP)
+	// DisconnectVP (not UnregisterVP) as the disconnect hook: a VP whose
+	// connection dies mid-batch has its orphaned jobs cancelled instead of
+	// wedging the batching predicate.
+	srv := ipc.ServeWithHooks(l, svc.Handle, svc.RegisterVP, svc.DisconnectVP)
 	fmt.Printf("sigmavpd: serving %s on %s (optimizations %v)\n",
 		opts.Arch.Name, srv.Addr(), !*baseline)
 

@@ -68,6 +68,14 @@ func (m *MultiService) UnregisterVP(id int) {
 	}
 }
 
+// DisconnectVP removes a VP that vanished abruptly, cancelling its orphaned
+// jobs on its device (see Service.DisconnectVP).
+func (m *MultiService) DisconnectVP(id int) {
+	if s, ok := m.byVP[id]; ok {
+		s.DisconnectVP(id)
+	}
+}
+
 // Backend returns the cudart back end bound to the VP's device.
 func (m *MultiService) Backend(vp int) *multiBackend {
 	return &multiBackend{s: m.serviceFor(vp), vp: vp}

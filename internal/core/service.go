@@ -6,6 +6,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -73,6 +74,12 @@ type Service struct {
 	mu      sync.Mutex
 	active  map[int]bool // registered VPs
 	blocked map[int]bool // VPs stopped at a synchronous point
+
+	// dispatchMu serializes batch drain + dispatch. Without it, two
+	// goroutines can both observe the all-stopped predicate, drain separate
+	// batches, and interleave their jobs' Run calls, breaking per-(VP,stream)
+	// ordering on the device.
+	dispatchMu sync.Mutex
 }
 
 // NewService builds a service over a fresh simulated host GPU.
@@ -115,12 +122,37 @@ func (s *Service) RegisterVP(id int) {
 	s.mu.Unlock()
 }
 
-// UnregisterVP removes a VP; pending work may dispatch as a result.
+// UnregisterVP removes a VP at a clean point (its application finished and
+// synced); pending work may dispatch as a result.
 func (s *Service) UnregisterVP(id int) {
 	s.mu.Lock()
 	delete(s.active, id)
 	delete(s.blocked, id)
 	s.mu.Unlock()
+	s.maybeDispatch()
+}
+
+// ErrCancelled marks jobs orphaned by a VP disconnect: the VP vanished
+// mid-batch, so its still-queued jobs are finished with this error instead
+// of running (or worse, wedging the all-stopped predicate as a ghost VP that
+// never stops).
+var ErrCancelled = errors.New("job cancelled: vp disconnected")
+
+// DisconnectVP removes a VP that vanished abruptly (its IPC connection
+// died). Unlike UnregisterVP it cancels the VP's still-queued jobs —
+// finishing them with ErrCancelled wakes any handler blocked waiting on
+// them — and then lets the surviving VPs' pending work dispatch. Use it as
+// the ipc server's disconnect hook.
+func (s *Service) DisconnectVP(id int) {
+	s.mu.Lock()
+	delete(s.active, id)
+	delete(s.blocked, id)
+	s.mu.Unlock()
+	for _, j := range s.queue.RemoveVP(id) {
+		if !j.Done() {
+			j.Finish(fmt.Errorf("core: vp %d: %w", id, ErrCancelled))
+		}
+	}
 	s.maybeDispatch()
 }
 
@@ -147,8 +179,12 @@ func (s *Service) WaitJob(vp int, j *sched.Job) error {
 }
 
 // maybeDispatch drains and dispatches the queue when every active VP is
-// stopped (or none are registered) and work is pending.
+// stopped (or none are registered) and work is pending. The whole
+// drain-and-dispatch sequence holds dispatchMu so concurrent callers cannot
+// interleave two batches' Run calls.
 func (s *Service) maybeDispatch() {
+	s.dispatchMu.Lock()
+	defer s.dispatchMu.Unlock()
 	for {
 		s.mu.Lock()
 		allStopped := true
@@ -170,6 +206,8 @@ func (s *Service) maybeDispatch() {
 
 // Flush dispatches everything pending regardless of VP states.
 func (s *Service) Flush() {
+	s.dispatchMu.Lock()
+	defer s.dispatchMu.Unlock()
 	for {
 		batch := s.queue.DrainBatch()
 		if len(batch) == 0 {

@@ -260,12 +260,45 @@ func (e *emulBackend) Close() error { return nil }
 
 // --- Remote (socket IPC) back end ---
 
-type remoteBackend struct{ c ipc.Client }
+type remoteBackend struct {
+	c ipc.Client
+	// retries is the extra-attempt budget for idempotent requests that fail
+	// with a retryable transport error (timeout, disconnect).
+	retries int
+}
+
+// DefaultRetries is the remote back end's retry budget for idempotent
+// requests after transport faults.
+const DefaultRetries = 2
 
 // NewRemoteBackend talks to a ΣVP service over an ipc.Client (socket or
 // in-process pipe). Operations are synchronous RPCs; the service's VP
-// Control batches concurrently-stopped VPs for re-scheduling.
-func NewRemoteBackend(c ipc.Client) Backend { return &remoteBackend{c: c} }
+// Control batches concurrently-stopped VPs for re-scheduling. Idempotent
+// requests (H2D, D2H, memset) are retried up to DefaultRetries times when
+// the transport reports a timeout or disconnect; launches, allocations, and
+// frees are never replayed — a duplicated launch would re-run kernel side
+// effects, a duplicated malloc would leak.
+func NewRemoteBackend(c ipc.Client) Backend {
+	return &remoteBackend{c: c, retries: DefaultRetries}
+}
+
+// NewRemoteBackendRetries overrides the idempotent-retry budget (0 disables
+// retries).
+func NewRemoteBackendRetries(c ipc.Client, retries int) Backend {
+	return &remoteBackend{c: c, retries: retries}
+}
+
+// callIdempotent issues a request, re-issuing it on retryable transport
+// errors. Only requests whose replay leaves the device in the same state may
+// go through here: the original may have been applied server-side even
+// though the response was lost.
+func (r *remoteBackend) callIdempotent(req any) (any, error) {
+	resp, err := r.c.Call(req)
+	for attempt := 0; attempt < r.retries && ipc.IsRetryable(err); attempt++ {
+		resp, err = r.c.Call(req)
+	}
+	return resp, err
+}
 
 func (r *remoteBackend) Malloc(n int) (devmem.Ptr, error) {
 	resp, err := r.c.Call(ipc.MallocReq{Size: n})
@@ -281,7 +314,7 @@ func (r *remoteBackend) Free(p devmem.Ptr) error {
 }
 
 func (r *remoteBackend) H2D(stream int, dst devmem.Ptr, off int, data []byte) (Token, error) {
-	resp, err := r.c.Call(ipc.H2DReq{Stream: stream, Dst: dst, Off: off, Data: data})
+	resp, err := r.callIdempotent(ipc.H2DReq{Stream: stream, Dst: dst, Off: off, Data: data})
 	if err != nil {
 		return doneToken{err: err}, nil
 	}
@@ -290,7 +323,7 @@ func (r *remoteBackend) H2D(stream int, dst devmem.Ptr, off int, data []byte) (T
 }
 
 func (r *remoteBackend) D2H(stream int, src devmem.Ptr, off, n int) (Token, error) {
-	resp, err := r.c.Call(ipc.D2HReq{Stream: stream, Src: src, Off: off, N: n})
+	resp, err := r.callIdempotent(ipc.D2HReq{Stream: stream, Src: src, Off: off, N: n})
 	if err != nil {
 		return doneToken{err: err}, nil
 	}
@@ -299,7 +332,7 @@ func (r *remoteBackend) D2H(stream int, src devmem.Ptr, off, n int) (Token, erro
 }
 
 func (r *remoteBackend) Memset(stream int, dst devmem.Ptr, off, n int, value byte) (Token, error) {
-	resp, err := r.c.Call(ipc.MemsetReq{Stream: stream, Dst: dst, Off: off, N: n, Value: value})
+	resp, err := r.callIdempotent(ipc.MemsetReq{Stream: stream, Dst: dst, Off: off, N: n, Value: value})
 	if err != nil {
 		return doneToken{err: err}, nil
 	}

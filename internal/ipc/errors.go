@@ -1,0 +1,63 @@
+package ipc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// ErrClientClosed is returned by Call after the client has been Closed.
+var ErrClientClosed = errors.New("ipc: client closed")
+
+// TimeoutError reports a Call that could not complete within its per-call
+// deadline: the transport was alive but the response did not arrive in time
+// (a dropped frame, a stalled server, injected delay faults). It satisfies
+// the net.Error Timeout convention.
+type TimeoutError struct {
+	Op    string        // "connect", "write", or "read"
+	After time.Duration // the deadline that was exceeded
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("ipc: %s timed out after %v", e.Op, e.After)
+}
+
+// Timeout marks the error as a deadline expiry (net.Error convention).
+func (e *TimeoutError) Timeout() bool { return true }
+
+// DisconnectError reports a broken connection: the peer went away or the gob
+// stream desynchronized mid-call. The connection is dropped; the next Call
+// redials with capped exponential backoff.
+type DisconnectError struct {
+	Op    string
+	Cause error
+}
+
+func (e *DisconnectError) Error() string {
+	return fmt.Sprintf("ipc: connection lost during %s: %v", e.Op, e.Cause)
+}
+
+func (e *DisconnectError) Unwrap() error { return e.Cause }
+
+// IsRetryable reports whether err is a transport-level failure (timeout or
+// disconnect) after which re-issuing an *idempotent* request is safe. The
+// cudart layer uses it to retry copies and memsets but never launches or
+// allocations.
+func IsRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var te *TimeoutError
+	var de *DisconnectError
+	return errors.As(err, &te) || errors.As(err, &de)
+}
+
+// transportErr classifies a raw connection error into the typed errors above.
+func transportErr(op string, err error, timeout time.Duration) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return &TimeoutError{Op: op, After: timeout}
+	}
+	return &DisconnectError{Op: op, Cause: err}
+}

@@ -10,9 +10,9 @@ package ipc
 import (
 	"encoding/gob"
 	"fmt"
-	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/devmem"
 	"repro/internal/kpl"
@@ -85,6 +85,21 @@ type ErrResp struct{ Msg string }
 // hello is the first frame of a TCP session, identifying the VP.
 type hello struct{ VP int }
 
+// reqFrame is one request on the wire. Every request carries a
+// connection-unique ID; the matching response echoes it, so a response can
+// never be attributed to the wrong call even after faults.
+type reqFrame struct {
+	ID   uint64
+	Body any
+}
+
+// respFrame is one response on the wire, tagged with the ID of the request
+// it answers.
+type respFrame struct {
+	ID   uint64
+	Body any
+}
+
 func init() {
 	gob.Register(MallocReq{})
 	gob.Register(MallocResp{})
@@ -141,7 +156,11 @@ func (p *pipeClient) Close() error { return nil }
 
 // --- TCP socket transport ---
 
-// Server accepts VP connections on a listener and serves requests.
+// Server accepts VP connections on a listener and serves requests. Requests
+// on one connection are handled concurrently: the decode loop keeps reading
+// while earlier requests are blocked in the handler (a VP stopped at a
+// synchronous point), so a dying connection is noticed immediately and the
+// disconnect hook can cancel the VP's orphaned work.
 type Server struct {
 	l            net.Listener
 	h            Handler
@@ -150,6 +169,7 @@ type Server struct {
 	mu           sync.Mutex
 	closed       bool
 	conns        map[net.Conn]struct{}
+	vpConns      map[int]int // open connections per VP (reconnects overlap)
 	serving      sync.WaitGroup
 }
 
@@ -158,11 +178,19 @@ func Serve(l net.Listener, h Handler) *Server {
 	return ServeWithHooks(l, h, nil, nil)
 }
 
-// ServeWithHooks additionally invokes the callbacks when a VP's connection
-// opens and closes — the host service uses them to register VPs with the
-// VP-control batching logic.
+// ServeWithHooks additionally invokes the callbacks when a VP's first
+// connection opens and its last connection closes — the host service uses
+// them to register VPs with the VP-control batching logic and to cancel a
+// disconnected VP's orphaned jobs. The hooks are refcounted per VP, so a
+// client reconnect that briefly overlaps its dying predecessor does not
+// bounce the VP through an unregister/register cycle.
 func ServeWithHooks(l net.Listener, h Handler, onConnect, onDisconnect func(vp int)) *Server {
-	s := &Server{l: l, h: h, onConnect: onConnect, onDisconnect: onDisconnect, conns: map[net.Conn]struct{}{}}
+	s := &Server{
+		l: l, h: h,
+		onConnect: onConnect, onDisconnect: onDisconnect,
+		conns:   map[net.Conn]struct{}{},
+		vpConns: map[int]int{},
+	}
 	s.serving.Add(1)
 	go s.acceptLoop()
 	return s
@@ -188,6 +216,35 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// vpOpened refcounts a VP's connections, firing onConnect on 0→1.
+func (s *Server) vpOpened(vp int) {
+	s.mu.Lock()
+	s.vpConns[vp]++
+	first := s.vpConns[vp] == 1
+	s.mu.Unlock()
+	if first && s.onConnect != nil {
+		s.onConnect(vp)
+	}
+}
+
+// vpClosed fires onDisconnect when a VP's last connection closes.
+func (s *Server) vpClosed(vp int) {
+	s.mu.Lock()
+	s.vpConns[vp]--
+	last := s.vpConns[vp] == 0
+	if last {
+		delete(s.vpConns, vp)
+	}
+	s.mu.Unlock()
+	if last && s.onDisconnect != nil {
+		s.onDisconnect(vp)
+	}
+}
+
+// writeGrace bounds how long a response write to a dead or stalled peer may
+// block after its connection's decode loop has exited.
+const writeGrace = 2 * time.Second
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.serving.Done()
 	defer conn.Close()
@@ -197,24 +254,36 @@ func (s *Server) serveConn(conn net.Conn) {
 	if err := dec.Decode(&hi); err != nil {
 		return
 	}
-	if s.onConnect != nil {
-		s.onConnect(hi.VP)
-	}
-	if s.onDisconnect != nil {
-		defer s.onDisconnect(hi.VP)
-	}
+
+	// In-flight handlers for this connection. The teardown order matters:
+	// vpClosed runs first (deferred last) so the disconnect hook can cancel
+	// jobs that in-flight handlers are blocked on, then lingering response
+	// writes are bounded by writeGrace, then we wait them out and close.
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	defer func() { conn.SetDeadline(time.Now().Add(writeGrace)) }()
+	s.vpOpened(hi.VP)
+	defer s.vpClosed(hi.VP)
+
+	var wmu sync.Mutex // serializes response frames from concurrent handlers
 	for {
-		var req any
-		if err := dec.Decode(&req); err != nil {
-			if err != io.EOF {
-				_ = enc.Encode(any(ErrResp{Msg: err.Error()}))
-			}
+		var fr reqFrame
+		if err := dec.Decode(&fr); err != nil {
+			// EOF or a mid-frame decode error. Either way the gob stream is
+			// unusable — encoding an ErrResp onto a desynchronized stream
+			// would feed the peer garbage (or be misread as the reply to an
+			// unrelated call), so close the connection instead. The client
+			// treats it as a disconnect and redials.
 			return
 		}
-		resp := s.h(hi.VP, req)
-		if err := enc.Encode(&resp); err != nil {
-			return
-		}
+		handlers.Add(1)
+		go func(fr reqFrame) {
+			defer handlers.Done()
+			resp := s.h(hi.VP, fr.Body)
+			wmu.Lock()
+			defer wmu.Unlock()
+			_ = enc.Encode(respFrame{ID: fr.ID, Body: resp})
+		}(fr)
 	}
 }
 
@@ -234,41 +303,209 @@ func (s *Server) Close() error {
 	return err
 }
 
-type tcpClient struct {
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-	mu   sync.Mutex
+// DialOptions tune the TCP client's fault tolerance.
+type DialOptions struct {
+	// CallTimeout bounds each Call end to end, including any redial.
+	// 0 means DefaultCallTimeout.
+	CallTimeout time.Duration
+	// BackoffBase is the first redial backoff; it doubles per consecutive
+	// failed attempt up to BackoffCap and resets on success.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// Faults, when non-nil and enabled, wraps every connection in the
+	// deterministic fault injector.
+	Faults *FaultConfig
 }
 
-// Dial connects a VP to a service over TCP.
-func Dial(addr string, vp int) (Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
+// Client timeout/backoff defaults.
+const (
+	DefaultCallTimeout = 30 * time.Second
+	DefaultBackoffBase = 5 * time.Millisecond
+	DefaultBackoffCap  = 250 * time.Millisecond
+)
+
+func (o DialOptions) withDefaults() DialOptions {
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = DefaultCallTimeout
 	}
-	c := &tcpClient{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
-	if err := c.enc.Encode(hello{VP: vp}); err != nil {
-		conn.Close()
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = DefaultBackoffBase
+	}
+	if o.BackoffCap <= 0 {
+		o.BackoffCap = DefaultBackoffCap
+	}
+	return o
+}
+
+type tcpClient struct {
+	addr string
+	vp   int
+	opts DialOptions
+
+	callMu sync.Mutex // one Call at a time
+
+	connMu  sync.Mutex // guards the fields below (Close races a blocked Call)
+	conn    net.Conn
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	closed  bool
+	backoff time.Duration // next redial backoff (capped exponential)
+	connSeq int64         // connections established (salts the fault seed)
+
+	nextID uint64
+}
+
+// Dial connects a VP to a service over TCP with default options.
+func Dial(addr string, vp int) (Client, error) {
+	return DialWithOptions(addr, vp, DialOptions{})
+}
+
+// DialWithOptions connects a VP to a service over TCP. The initial dial is a
+// single attempt (an unreachable service fails fast); once connected, a
+// broken connection is redialed lazily by the next Call with capped
+// exponential backoff, bounded by that Call's deadline.
+func DialWithOptions(addr string, vp int, opts DialOptions) (Client, error) {
+	c := &tcpClient{addr: addr, vp: vp, opts: opts.withDefaults()}
+	c.backoff = c.opts.BackoffBase
+	if err := c.connect(time.Now().Add(c.opts.CallTimeout)); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-func (c *tcpClient) Call(req any) (any, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.enc.Encode(&req); err != nil {
-		return nil, err
+// connect establishes one connection and sends the hello frame. The caller
+// must not hold connMu.
+func (c *tcpClient) connect(deadline time.Time) error {
+	remaining := time.Until(deadline)
+	if remaining <= 0 {
+		return &TimeoutError{Op: "connect", After: c.opts.CallTimeout}
 	}
-	var resp any
-	if err := c.dec.Decode(&resp); err != nil {
-		return nil, err
+	conn, err := net.DialTimeout("tcp", c.addr, remaining)
+	if err != nil {
+		return transportErr("connect", err, c.opts.CallTimeout)
 	}
-	return Err(resp)
+	if c.opts.Faults != nil {
+		// Salt the seed with the connection ordinal: a replacement
+		// connection draws a fresh (but still deterministic) fault schedule
+		// instead of replaying the one that just killed its predecessor.
+		fc := *c.opts.Faults
+		c.connMu.Lock()
+		fc.Seed += c.connSeq
+		c.connSeq++
+		c.connMu.Unlock()
+		conn = WrapFaulty(conn, fc)
+	}
+	conn.SetDeadline(deadline)
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(hello{VP: c.vp}); err != nil {
+		conn.Close()
+		return transportErr("connect", err, c.opts.CallTimeout)
+	}
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	if c.closed {
+		conn.Close()
+		return ErrClientClosed
+	}
+	c.conn, c.enc, c.dec = conn, enc, dec
+	c.backoff = c.opts.BackoffBase
+	return nil
 }
 
-func (c *tcpClient) Close() error { return c.conn.Close() }
+// reconnect redials with capped exponential backoff until the deadline.
+func (c *tcpClient) reconnect(deadline time.Time) error {
+	for {
+		err := c.connect(deadline)
+		if err == nil || err == ErrClientClosed {
+			return err
+		}
+		c.connMu.Lock()
+		sleep := c.backoff
+		c.backoff *= 2
+		if c.backoff > c.opts.BackoffCap {
+			c.backoff = c.opts.BackoffCap
+		}
+		c.connMu.Unlock()
+		if time.Now().Add(sleep).After(deadline) {
+			return err
+		}
+		time.Sleep(sleep)
+	}
+}
+
+// dropConn discards the current connection after a transport error; the
+// next Call redials. The gob stream may be mid-frame, so it cannot be
+// reused.
+func (c *tcpClient) dropConn() {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn, c.enc, c.dec = nil, nil, nil
+	}
+}
+
+// Call sends one request and returns the matching response. The whole
+// exchange — redial if the connection is down, write, and read — is bounded
+// by the per-call deadline; on expiry it returns a *TimeoutError and drops
+// the connection (the stream may be desynchronized). Responses are matched
+// to requests by ID: a stray frame left over from an earlier, abandoned
+// request is discarded, never delivered as this call's reply.
+func (c *tcpClient) Call(req any) (any, error) {
+	c.callMu.Lock()
+	defer c.callMu.Unlock()
+
+	deadline := time.Now().Add(c.opts.CallTimeout)
+
+	c.connMu.Lock()
+	if c.closed {
+		c.connMu.Unlock()
+		return nil, ErrClientClosed
+	}
+	conn, enc, dec := c.conn, c.enc, c.dec
+	c.nextID++
+	id := c.nextID
+	c.connMu.Unlock()
+
+	if conn == nil {
+		if err := c.reconnect(deadline); err != nil {
+			return nil, err
+		}
+		c.connMu.Lock()
+		conn, enc, dec = c.conn, c.enc, c.dec
+		c.connMu.Unlock()
+	}
+
+	conn.SetDeadline(deadline)
+	if err := enc.Encode(reqFrame{ID: id, Body: req}); err != nil {
+		c.dropConn()
+		return nil, transportErr("write", err, c.opts.CallTimeout)
+	}
+	for {
+		var fr respFrame
+		if err := dec.Decode(&fr); err != nil {
+			c.dropConn()
+			return nil, transportErr("read", err, c.opts.CallTimeout)
+		}
+		if fr.ID != id {
+			continue // stale response to an abandoned request: discard
+		}
+		return Err(fr.Body)
+	}
+}
+
+func (c *tcpClient) Close() error {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	c.closed = true
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn, c.enc, c.dec = nil, nil, nil
+		return err
+	}
+	return nil
+}
 
 // --- VP Control ---
 

@@ -1,0 +1,87 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/hostgpu"
+)
+
+// TestPlanMalformedCycleMarksJobs: a batch whose explicit Deps form a cycle
+// cannot be ordered correctly. Both planners must still emit every job
+// exactly once (progress guarantee) and must signal the violation by
+// marking the forced jobs' Err with ErrCycle instead of dispatching them
+// silently.
+func TestPlanMalformedCycleMarksJobs(t *testing.T) {
+	for _, pol := range []Policy{PolicyFIFO, PolicyInterleave} {
+		t.Run(pol.String(), func(t *testing.T) {
+			a := fakeJob(0, 0, hostgpu.EngineCompute)
+			b := fakeJob(0, 1, hostgpu.EngineCompute)
+			a.Label, b.Label = "a", "b"
+			a.Deps = []*Job{b}
+			b.Deps = []*Job{a}
+			batch := []*Job{a, b}
+
+			order := Plan(batch, pol)
+			if len(order) != 2 {
+				t.Fatalf("plan emitted %d jobs, want 2", len(order))
+			}
+			seen := map[*Job]int{}
+			for _, j := range order {
+				seen[j]++
+			}
+			if seen[a] != 1 || seen[b] != 1 {
+				t.Fatalf("jobs not emitted exactly once: %v", seen)
+			}
+			// The job forced out first necessarily violates its dependency
+			// and must carry the cycle marker; its successor is then
+			// legitimately ready and stays clean.
+			first, second := order[0], order[1]
+			if !errors.Is(first.Err, ErrCycle) {
+				t.Fatalf("forced job %q not marked with ErrCycle: %v", first.Label, first.Err)
+			}
+			if second.Err != nil {
+				t.Fatalf("released job %q wrongly marked: %v", second.Label, second.Err)
+			}
+		})
+	}
+}
+
+// TestPlanCleanBatchUnmarked: well-formed dependencies never trigger the
+// cycle marker.
+func TestPlanCleanBatchUnmarked(t *testing.T) {
+	for _, pol := range []Policy{PolicyFIFO, PolicyInterleave} {
+		a := fakeJob(0, 0, hostgpu.EngineH2D)
+		b := fakeJob(1, 1, hostgpu.EngineCompute)
+		b.Deps = []*Job{a}
+		for _, j := range Plan([]*Job{a, b}, pol) {
+			if j.Err != nil {
+				t.Fatalf("%s: clean batch marked: %v", pol, j.Err)
+			}
+		}
+	}
+}
+
+// TestQueueRemoveVP: disconnect cleanup removes exactly the dead VP's
+// pending jobs and preserves the arrival order of the rest.
+func TestQueueRemoveVP(t *testing.T) {
+	q := NewQueue()
+	mine := []*Job{fakeJob(1, 0, hostgpu.EngineCompute), fakeJob(1, 1, hostgpu.EngineD2H)}
+	other := []*Job{fakeJob(0, 0, hostgpu.EngineCompute), fakeJob(2, 0, hostgpu.EngineH2D)}
+	q.Push(other[0])
+	q.Push(mine[0])
+	q.Push(other[1])
+	q.Push(mine[1])
+
+	removed := q.RemoveVP(1)
+	if len(removed) != 2 || removed[0] != mine[0] || removed[1] != mine[1] {
+		t.Fatalf("removed %v", removed)
+	}
+	rest := q.DrainBatch()
+	if len(rest) != 2 || rest[0] != other[0] || rest[1] != other[1] {
+		t.Fatalf("survivors reordered: %v", rest)
+	}
+	if got := q.RemoveVP(1); len(got) != 0 {
+		t.Fatalf("second removal returned %v", got)
+	}
+}

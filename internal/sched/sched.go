@@ -9,6 +9,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -189,12 +190,44 @@ func (q *Queue) Len() int {
 	return len(q.pending)
 }
 
+// RemoveVP removes and returns every pending job submitted by one VP
+// (disconnect cleanup); the remaining jobs keep their arrival order.
+func (q *Queue) RemoveVP(vp int) []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var removed []*Job
+	kept := q.pending[:0]
+	for _, j := range q.pending {
+		if j.VP == vp {
+			removed = append(removed, j)
+		} else {
+			kept = append(kept, j)
+		}
+	}
+	q.pending = kept
+	return removed
+}
+
+// ErrCycle marks a job that a planner was forced to dispatch before one of
+// its explicit Deps because the dependency graph contains a (malformed)
+// cycle. The job still runs, but its Err carries the signal so the VP's
+// synchronous wait surfaces it instead of silently returning success.
+var ErrCycle = errors.New("sched: dependency cycle")
+
+// markCycle records the forced-dispatch signal on a job.
+func markCycle(j *Job) {
+	if j.Err == nil {
+		j.Err = fmt.Errorf("%w: %q dispatched with unplanned dependencies", ErrCycle, j.Label)
+	}
+}
+
 // Plan computes the dispatch order of a batch under the given policy. The
 // order always respects (a) each (VP, stream) chain's arrival order and
 // (b) explicit Deps. Under PolicyInterleave, the planner greedily prefers a
 // ready job whose engine differs from the previously planned one, visiting
 // VPs round-robin, which interleaves copy and kernel jobs from different
-// VPs (Fig. 4a).
+// VPs (Fig. 4a). A batch whose Deps form a cycle cannot honour (b); the
+// affected jobs are still emitted (exactly once) but marked with ErrCycle.
 func Plan(batch []*Job, policy Policy) []*Job {
 	if len(batch) <= 1 {
 		return batch
@@ -246,12 +279,20 @@ func planFIFO(batch []*Job) []*Job {
 			progressed = true
 		}
 		if !progressed {
-			// Malformed cycle: emit the remainder in arrival order.
+			// Malformed cycle: emit the remainder in arrival order, marking
+			// every job whose explicit deps are violated by the forced order.
 			for _, j := range batch {
-				if !planned[j] {
-					planned[j] = true
-					out = append(out, j)
+				if planned[j] {
+					continue
 				}
+				for _, d := range j.Deps {
+					if inBatch[d] && !planned[d] {
+						markCycle(j)
+						break
+					}
+				}
+				planned[j] = true
+				out = append(out, j)
 			}
 		}
 	}
@@ -317,11 +358,16 @@ func planInterleave(batch []*Job) []*Job {
 			// Every ready head shares lastEngine and the two passes above
 			// missed it, or a (malformed) dependency cycle blocks all heads:
 			// take the first head outright to guarantee progress. Only chain
-			// heads are eligible — per-chain order is inviolable.
+			// heads are eligible — per-chain order is inviolable. A forced
+			// head with unplanned deps is a cycle victim: mark it so the
+			// violation is signalled, not silent.
 			for _, k := range keys {
 				if idx := heads[k]; idx < len(chains[k]) {
 					pick = chains[k][idx]
 					pickKey = k
+					if !ready(pick) {
+						markCycle(pick)
+					}
 					break
 				}
 			}

@@ -7,6 +7,7 @@
 package vp
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -107,8 +108,9 @@ func NewFleet(n int, cpu arch.CPU, mkCtx func(id int) *cudart.Context) *Fleet {
 	return f
 }
 
-// Run executes the application on every VP concurrently and returns the
-// first error.
+// Run executes the application on every VP concurrently. All failures are
+// reported, aggregated with errors.Join — a two-VP failure names both VPs,
+// not just the first.
 func (f *Fleet) Run(app App) error {
 	errs := make([]error, len(f.VPs))
 	var wg sync.WaitGroup
@@ -120,10 +122,5 @@ func (f *Fleet) Run(app App) error {
 		}(i, v)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return errors.Join(errs...)
 }

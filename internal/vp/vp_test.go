@@ -2,6 +2,7 @@ package vp
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/arch"
@@ -93,6 +94,37 @@ func TestFleetRunsAll(t *testing.T) {
 		if !ok {
 			t.Errorf("vp%d did not run", id)
 		}
+	}
+}
+
+// TestFleetAggregatesAllErrors: a multi-VP failure must report every
+// failing VP, not just the first — the errors are joined, and each carries
+// its VP's identity.
+func TestFleetAggregatesAllErrors(t *testing.T) {
+	f := NewFleet(3, arch.ARMVersatile(), func(id int) *cudart.Context {
+		d := emul.New(arch.ARMVersatile(), 1<<20)
+		return cudart.NewContext(id, cudart.NewEmulBackend(d))
+	})
+	boom0 := errors.New("boom zero")
+	boom2 := errors.New("boom two")
+	err := f.Run(func(v *VP) error {
+		switch v.ID {
+		case 0:
+			return boom0
+		case 2:
+			return boom2
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("two-VP failure reported success")
+	}
+	if !errors.Is(err, boom0) || !errors.Is(err, boom2) {
+		t.Fatalf("aggregate lost a failure: %v", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "vp0") || !strings.Contains(msg, "vp2") {
+		t.Fatalf("aggregate does not name both VPs: %q", msg)
 	}
 }
 
