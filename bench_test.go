@@ -271,15 +271,59 @@ func vecAddEnv(b *testing.B, n int) (*kernels.Benchmark, *kpl.Env) {
 	return bench, env
 }
 
-// BenchmarkInterpreterVectorAdd measures the kpl interpreter (the GPU
-// emulator's execution engine) on a 64k-element vectorAdd.
+// BenchmarkInterpreterVectorAdd measures the kpl tree-walking interpreter
+// (the reference execution engine) on a 64k-element vectorAdd.
 func BenchmarkInterpreterVectorAdd(b *testing.B) {
 	bench, env := vecAddEnv(b, 1<<16)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := bench.Kernel.ExecAll(env, nil); err != nil {
+		if err := bench.Kernel.InterpretAll(env, nil); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkKernelExec compares the tree-walking interpreter against the
+// compiled slot-indexed engine on representative kernels, with and without
+// statistics collection. The compiled/interp ratio is the headline number of
+// the compiled-engine optimisation (BENCH_3.json).
+func BenchmarkKernelExec(b *testing.B) {
+	for _, name := range []string{"vectorAdd", "BlackScholes", "reduction"} {
+		bench, err := kernels.Get(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := bench.MakeWorkload(1)
+		env, err := kernels.BuildEnv(bench, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := kpl.Compile(bench.Kernel); err != nil {
+			b.Fatalf("%s: does not compile: %v", name, err)
+		}
+		run := func(b *testing.B, exec func(*kpl.Env, *kpl.Stats) error, st *kpl.Stats) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if st != nil {
+					*st = *kpl.NewStats()
+				}
+				if err := exec(env, st); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.Run(name+"/interp", func(b *testing.B) {
+			run(b, bench.Kernel.InterpretAll, nil)
+		})
+		b.Run(name+"/compiled", func(b *testing.B) {
+			run(b, bench.Kernel.ExecAll, nil)
+		})
+		b.Run(name+"/interp-stats", func(b *testing.B) {
+			run(b, bench.Kernel.InterpretAll, kpl.NewStats())
+		})
+		b.Run(name+"/compiled-stats", func(b *testing.B) {
+			run(b, bench.Kernel.ExecAll, kpl.NewStats())
+		})
 	}
 }
 

@@ -12,12 +12,17 @@
 //
 // -workers sizes the experiment-harness worker pool (0 = one worker per CPU,
 // 1 = serial). Results are identical for every value; only wall-clock changes.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the selected
+// experiments, for inspection with `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/experiments"
 )
@@ -28,8 +33,10 @@ func main() {
 	workers := flag.Int("workers", 0, "experiment-harness worker pool size (0 = NumCPU, 1 = serial)")
 	faults := flag.String("faults", "seed=1,drop=0.05,delay=0.2,maxdelay=5ms,corrupt=0.02,disconnect=0.02",
 		"fault-injection spec for the faults drill (key=value pairs; see internal/ipc.ParseFaults)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sigmavp [-scale N] [-workers N] [-faults SPEC] table1|fig3|fig9a|fig9b|fig10a|fig10b|fig11|fig12|fig13|sweep|scaling|faults|all\n")
+		fmt.Fprintf(os.Stderr, "usage: sigmavp [-scale N] [-workers N] [-faults SPEC] [-cpuprofile FILE] [-memprofile FILE] table1|fig3|fig9a|fig9b|fig10a|fig10b|fig11|fig12|fig13|sweep|scaling|faults|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -69,12 +76,60 @@ func main() {
 		os.Exit(2)
 	}
 
+	// fail wraps the os.Exit(1) path so profiles are flushed even when an
+	// experiment errors (os.Exit skips deferred calls).
+	finishProfiles := startProfiles(*cpuprofile, *memprofile)
+	fail := func(format string, args ...any) {
+		finishProfiles()
+		fmt.Fprintf(os.Stderr, format, args...)
+		os.Exit(1)
+	}
+
 	for _, name := range todo {
 		res, err := runners[name]()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sigmavp: %s: %v\n", name, err)
-			os.Exit(1)
+			fail("sigmavp: %s: %v\n", name, err)
 		}
 		fmt.Println(res.String())
+	}
+	finishProfiles()
+}
+
+// startProfiles begins CPU profiling and returns a function that stops it and
+// writes the allocation profile. The returned function is safe to call more
+// than once; only the first call has an effect.
+func startProfiles(cpuFile, memFile string) func() {
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sigmavp: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "sigmavp: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != "" {
+			pprof.StopCPUProfile()
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sigmavp: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush recent allocations into the profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "sigmavp: -memprofile: %v\n", err)
+			}
+		}
 	}
 }

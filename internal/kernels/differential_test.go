@@ -1,0 +1,111 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/kpl"
+	"repro/internal/kpl/kplgen"
+)
+
+// TestSuiteKernelsCompile asserts that every benchmark kernel is covered by
+// the compiler — none silently falls back to the interpreter. Without this,
+// the differential tests below could pass vacuously by comparing the
+// interpreter against itself.
+func TestSuiteKernelsCompile(t *testing.T) {
+	for _, b := range All() {
+		if _, err := kpl.Compile(b.Kernel); err != nil {
+			t.Errorf("%s: does not compile: %v", b.Name, err)
+		}
+	}
+}
+
+// TestCompiledMatchesInterpreterSuite runs every benchmark of the suite
+// through the reference interpreter and the compiled engine across three
+// launch geometries and worker counts {1, 4}, asserting bit-identical
+// buffers, statistics, and errors. This is the hard invariant of the
+// compiled engine: no caller can observe which engine executed a kernel.
+func TestCompiledMatchesInterpreterSuite(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			w := b.MakeWorkload(1)
+			env := buildEnv(t, b, w)
+			n := w.Threads()
+			// Three geometries: the workload's own blocking, one single
+			// block, and a deliberately ragged block size.
+			for _, blockSize := range []int{w.Block, n, 13} {
+				for _, workers := range []int{1, 4} {
+					if err := kplgen.CheckDiff(b.Kernel, env, blockSize, workers); err != nil {
+						t.Fatalf("bs=%d workers=%d: %v", blockSize, workers, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRandomKernelsDifferential decodes pseudo-random byte strings into
+// valid kernels (the same generator the fuzzer uses) and checks
+// interpreter/compiled bit-identity on each. Random kernels freely hit the
+// engines' error paths — out-of-range accesses, unbound names, undefined
+// variables — so this doubles as an error-identity test.
+func TestRandomKernelsDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5167a))
+	decoded, compiled := 0, 0
+	for i := 0; i < 600; i++ {
+		data := make([]byte, 24+rng.Intn(160))
+		rng.Read(data)
+		k, env, ok := kplgen.Decode(data)
+		if !ok {
+			continue
+		}
+		decoded++
+		if _, err := kpl.Compile(k); err == nil {
+			compiled++
+		}
+		// Serial comparison only: random kernels may read across block
+		// boundaries, where parallel shadow-buffer semantics legitimately
+		// differ from the serial thread order.
+		if err := kplgen.CheckDiff(k, env, 8, 1); err != nil {
+			t.Fatalf("seed %d: %v\nkernel:\n%s", i, err, k.String())
+		}
+	}
+	if decoded == 0 {
+		t.Fatal("no random kernels decoded")
+	}
+	// Guard against vacuity: a healthy fraction must take the compiled path.
+	if compiled*4 < decoded {
+		t.Fatalf("only %d/%d random kernels compiled — generator or compiler regressed", compiled, decoded)
+	}
+	t.Logf("%d random kernels, %d compiled, %d interpreted", decoded, compiled, decoded-compiled)
+}
+
+// FuzzCompiledVsInterp is the open-ended version of the differential test:
+// any byte string decodes to a valid kernel plus environment, and the fuzzer
+// fails on any divergence between the interpreter and the compiled engine in
+// buffers, statistics, or error text. The corpus is seeded with the encoded
+// benchmark suite so fuzzing starts from realistic kernel shapes.
+//
+// Run with: go test -fuzz FuzzCompiledVsInterp ./internal/kernels
+func FuzzCompiledVsInterp(f *testing.F) {
+	for _, b := range All() {
+		w := b.MakeWorkload(1)
+		f.Add(kplgen.Encode(b.Kernel, w.Threads()))
+	}
+	f.Add([]byte{2, 1, 0, 3, 1, 1, 2, 0, 5})
+	f.Add([]byte{0, 0, 0, 3, 3, 0, 1, 7, 0, 1, 5, 0, 1, 2})
+	// Regression: this input once decoded to a float-typed loop bound whose
+	// NaN defeated the generator's Mod clamp, hanging both engines for ~2^63
+	// iterations (see clampBound in kplgen).
+	f.Add([]byte("\x01\x00\x02\x01\x01\x00\x01\x01\x00\x03\x00\x10K"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, env, ok := kplgen.Decode(data)
+		if !ok {
+			return // only empty input fails to decode
+		}
+		if err := kplgen.CheckDiff(k, env, 8, 1); err != nil {
+			t.Fatalf("%v\nkernel:\n%s", err, k.String())
+		}
+	})
+}

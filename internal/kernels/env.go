@@ -1,0 +1,28 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/devmem"
+	"repro/internal/kpl"
+)
+
+// BuildEnv materializes a workload's buffers into an execution environment
+// for b.Kernel: every declared buffer is allocated at the workload's size and
+// seeded with the workload's input bytes. Parameters are shared with the
+// workload, not copied.
+func BuildEnv(b *Benchmark, w *Workload) (*kpl.Env, error) {
+	env := &kpl.Env{NThreads: w.Threads(), Params: w.Params, Bufs: map[string]*kpl.Buffer{}}
+	for _, decl := range b.Kernel.Bufs {
+		size, ok := w.BufBytes[decl.Name]
+		if !ok {
+			return nil, fmt.Errorf("%s: workload missing buffer %q", b.Name, decl.Name)
+		}
+		raw := make([]byte, size)
+		if in, ok := w.Inputs[decl.Name]; ok {
+			copy(raw, in)
+		}
+		env.Bufs[decl.Name] = devmem.BufferFromBytes(decl.Elem, raw)
+	}
+	return env, nil
+}

@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"repro/internal/arch"
-	"repro/internal/devmem"
 	"repro/internal/kir"
 	"repro/internal/kpl"
 )
@@ -14,17 +13,9 @@ import (
 // environment.
 func buildEnv(t *testing.T, b *Benchmark, w *Workload) *kpl.Env {
 	t.Helper()
-	env := &kpl.Env{NThreads: w.Threads(), Params: w.Params, Bufs: map[string]*kpl.Buffer{}}
-	for _, decl := range b.Kernel.Bufs {
-		size, ok := w.BufBytes[decl.Name]
-		if !ok {
-			t.Fatalf("%s: workload missing buffer %q", b.Name, decl.Name)
-		}
-		raw := make([]byte, size)
-		if in, ok := w.Inputs[decl.Name]; ok {
-			copy(raw, in)
-		}
-		env.Bufs[decl.Name] = devmem.BufferFromBytes(decl.Elem, raw)
+	env, err := BuildEnv(b, w)
+	if err != nil {
+		t.Fatal(err)
 	}
 	return env
 }

@@ -1,0 +1,530 @@
+package kpl
+
+// The KPL compiler. Compile lowers a kernel's AST once into a flat,
+// slot-indexed instruction stream (a Program) so that per-thread execution
+// touches no maps, no strings and no interface dispatch:
+//
+//   - thread-local variables, scalar parameters and buffers resolve to dense
+//     integer slots at compile time;
+//   - dynamic statistics (per-class instruction counts, loop trips/entries,
+//     per-buffer load/store counts) accumulate into per-slot arrays inside
+//     the execution frame and are folded into the map-keyed Stats only once
+//     per ExecRange call;
+//   - per-launch register frames come from a sync.Pool (see program.go).
+//
+// The hard invariant is bit-identity with the tree-walking interpreter:
+// buffers, statistics and error text must match interp.go exactly for every
+// kernel, geometry and worker count. Whenever the compiler cannot prove that
+// a lowering preserves interpreter semantics — most importantly when a
+// variable may be read before it is assigned on some dynamic path, which the
+// interpreter reports as a runtime error — Compile refuses and the engine
+// transparently falls back to the interpreter (see resolveProgram).
+
+import "fmt"
+
+// opcode enumerates the Program instruction set.
+type opcode uint8
+
+const (
+	opHalt opcode = iota
+	opConst
+	opTID
+	opNT
+	opParam
+	opMove
+	opBin
+	opUn
+	opCast
+	opSel
+	opBufChk
+	opLoad
+	opStoreChk
+	opStore
+	opAtomicChk
+	opAtomic
+	opJump
+	opJz
+	opForInit
+	opForHead
+	opForNext
+	opBreak
+)
+
+// instr is one lowered instruction. Register operands index the frame's
+// register file; c doubles as a jump target for control-flow opcodes and as
+// the intrinsic cost for opUn; imm carries constants and the loop slot of
+// opForInit/opForHead.
+type instr struct {
+	op   opcode
+	sub  uint8 // BinOp / UnOp / target Type
+	dst  int32
+	a, b int32
+	c    int32
+	imm  Value
+}
+
+// Program is a kernel lowered to a slot-indexed instruction stream. It is
+// immutable after Compile and safe for concurrent execution: all mutable
+// state lives in per-call frames.
+type Program struct {
+	kernelName string
+	code       []instr
+	nRegs      int
+
+	paramNames []string // param slot → name (resolution + error text)
+	bufNames   []string // buffer slot → name
+	loopLabels []string // loop slot → label (Stats fold keys)
+}
+
+// NumRegs returns the register-frame width (variables + loop state + the
+// expression-temporary high-water mark).
+func (p *Program) NumRegs() int { return p.nRegs }
+
+// Len returns the instruction count of the lowered program.
+func (p *Program) Len() int { return len(p.code) }
+
+// unsupportedError reports a construct Compile does not cover; the execution
+// engine falls back to the interpreter for such kernels.
+type unsupportedError struct{ reason string }
+
+func (e *unsupportedError) Error() string { return "kpl: compile: " + e.reason }
+
+func unsupportedf(format string, args ...any) error {
+	return &unsupportedError{reason: fmt.Sprintf(format, args...)}
+}
+
+type compiler struct {
+	k    *Kernel
+	code []instr
+
+	vars  map[string]int32 // variable name → register (0..nVars-1)
+	nVars int32
+
+	hiddenNext int32 // next hidden loop-state register pair
+	tmpBase    int32 // first expression-temporary register
+	tmp        int32 // live temporaries
+	maxTmp     int32 // temporary high-water mark
+
+	params     map[string]int32
+	paramNames []string
+	bufs       map[string]int32
+	bufNames   []string
+	loopLabels []string
+
+	breaks    [][]int // per enclosing loop: opBreak pcs awaiting the END pc
+	topBreaks []int   // breaks outside any loop: jump to halt (thread ends)
+}
+
+// Compile lowers the kernel into a Program. It returns an *unsupportedError
+// when the kernel uses a construct whose interpreter semantics the compiled
+// engine cannot reproduce bit-identically — the only such constructs today
+// are variables that may be read before assignment (a runtime error in the
+// interpreter) and unknown AST nodes.
+func Compile(k *Kernel) (*Program, error) {
+	c := &compiler{
+		k:      k,
+		vars:   map[string]int32{},
+		params: map[string]int32{},
+		bufs:   map[string]int32{},
+	}
+	nFors := c.collect(k.Body)
+	c.hiddenNext = c.nVars
+	c.tmpBase = c.nVars + 2*int32(nFors)
+
+	def := make([]bool, c.nVars)
+	if _, err := c.stmts(k.Body, def); err != nil {
+		return nil, err
+	}
+	halt := int32(len(c.code))
+	c.emit(instr{op: opHalt})
+	for _, pc := range c.topBreaks {
+		c.code[pc].c = halt
+	}
+	return &Program{
+		kernelName: k.Name,
+		code:       c.code,
+		nRegs:      int(c.tmpBase + c.maxTmp),
+		paramNames: c.paramNames,
+		bufNames:   c.bufNames,
+		loopLabels: c.loopLabels,
+	}, nil
+}
+
+// collect interns every assigned variable (Let targets and loop variables)
+// and counts loops, sizing the register file before lowering begins.
+func (c *compiler) collect(ss []Stmt) int {
+	n := 0
+	for _, s := range ss {
+		switch x := s.(type) {
+		case *LetStmt:
+			c.varSlot(x.Name)
+		case *ForStmt:
+			c.varSlot(x.Var)
+			n++
+			n += c.collect(x.Body)
+		case *IfStmt:
+			n += c.collect(x.Then)
+			n += c.collect(x.Else)
+		}
+	}
+	return n
+}
+
+func (c *compiler) varSlot(name string) int32 {
+	if r, ok := c.vars[name]; ok {
+		return r
+	}
+	r := c.nVars
+	c.vars[name] = r
+	c.nVars++
+	return r
+}
+
+func (c *compiler) paramSlot(name string) int32 {
+	if s, ok := c.params[name]; ok {
+		return s
+	}
+	s := int32(len(c.paramNames))
+	c.params[name] = s
+	c.paramNames = append(c.paramNames, name)
+	return s
+}
+
+func (c *compiler) bufSlot(name string) int32 {
+	if s, ok := c.bufs[name]; ok {
+		return s
+	}
+	s := int32(len(c.bufNames))
+	c.bufs[name] = s
+	c.bufNames = append(c.bufNames, name)
+	return s
+}
+
+func (c *compiler) emit(i instr) int {
+	c.code = append(c.code, i)
+	return len(c.code) - 1
+}
+
+func (c *compiler) allocTmp() int32 {
+	r := c.tmpBase + c.tmp
+	c.tmp++
+	if c.tmp > c.maxTmp {
+		c.maxTmp = c.tmp
+	}
+	return r
+}
+
+// dest resolves an expression destination: dst ≥ 0 is a caller-imposed
+// register, −1 allocates a temporary.
+func (c *compiler) dest(dst int32) int32 {
+	if dst >= 0 {
+		return dst
+	}
+	return c.allocTmp()
+}
+
+func cloneDef(def []bool) []bool {
+	out := make([]bool, len(def))
+	copy(out, def)
+	return out
+}
+
+func allDef(n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = true
+	}
+	return out
+}
+
+// stmts lowers a statement block. def is the definite-assignment set (by
+// variable register), mutated in place so callers observe assignments made by
+// the block. The returned flag reports whether the block can complete
+// normally; blocks ending in an unconditional break (directly or through an
+// if whose branches both break) cannot, and statements after such a point are
+// lowered as dead code against a vacuous all-defined set — the interpreter
+// never reaches them either.
+func (c *compiler) stmts(ss []Stmt, def []bool) (bool, error) {
+	completes := true
+	for _, s := range ss {
+		switch x := s.(type) {
+		case *LetStmt:
+			vr := c.varSlot(x.Name)
+			mark := c.tmp
+			if _, err := c.expr(x.E, def, vr); err != nil {
+				return false, err
+			}
+			c.tmp = mark
+			def[vr] = true
+
+		case *StoreStmt:
+			// Interpreter order: unbound-buffer check, index evaluation,
+			// bounds check, value evaluation, store.
+			slot := c.bufSlot(x.Buf)
+			mark := c.tmp
+			c.emit(instr{op: opBufChk, b: slot})
+			ri, err := c.expr(x.Idx, def, -1)
+			if err != nil {
+				return false, err
+			}
+			c.emit(instr{op: opStoreChk, a: ri, b: slot})
+			rv, err := c.expr(x.Val, def, -1)
+			if err != nil {
+				return false, err
+			}
+			c.emit(instr{op: opStore, a: ri, b: slot, c: rv})
+			c.tmp = mark
+
+		case *AtomicAddStmt:
+			slot := c.bufSlot(x.Buf)
+			mark := c.tmp
+			c.emit(instr{op: opBufChk, b: slot})
+			ri, err := c.expr(x.Idx, def, -1)
+			if err != nil {
+				return false, err
+			}
+			c.emit(instr{op: opAtomicChk, a: ri, b: slot})
+			rv, err := c.expr(x.Val, def, -1)
+			if err != nil {
+				return false, err
+			}
+			c.emit(instr{op: opAtomic, a: ri, b: slot, c: rv})
+			c.tmp = mark
+
+		case *ForStmt:
+			if err := c.forStmt(x, def); err != nil {
+				return false, err
+			}
+
+		case *IfStmt:
+			ok, err := c.ifStmt(x, def)
+			if err != nil {
+				return false, err
+			}
+			if !ok && completes {
+				completes = false
+				def = allDef(len(def))
+			}
+
+		case *BreakStmt:
+			pc := c.emit(instr{op: opBreak})
+			if n := len(c.breaks); n > 0 {
+				c.breaks[n-1] = append(c.breaks[n-1], pc)
+			} else {
+				// Break outside any loop: the interpreter lets the control
+				// sentinel propagate to the top and the thread simply ends.
+				c.topBreaks = append(c.topBreaks, pc)
+			}
+			if completes {
+				completes = false
+				def = allDef(len(def))
+			}
+
+		default:
+			return false, unsupportedf("unknown statement %T", s)
+		}
+	}
+	return completes, nil
+}
+
+func (c *compiler) forStmt(x *ForStmt, def []bool) error {
+	loopSlot := int32(len(c.loopLabels))
+	c.loopLabels = append(c.loopLabels, x.Label)
+	hid := c.hiddenNext
+	c.hiddenNext += 2
+
+	mark := c.tmp
+	rs, err := c.expr(x.Start, def, -1)
+	if err != nil {
+		return err
+	}
+	re, err := c.expr(x.End, def, -1)
+	if err != nil {
+		return err
+	}
+	initPC := c.emit(instr{op: opForInit, a: rs, b: re, dst: hid, imm: Value{I: int64(loopSlot)}})
+	c.tmp = mark
+
+	head := int32(len(c.code))
+	vr := c.varSlot(x.Var)
+	c.emit(instr{op: opForHead, dst: vr, a: hid, imm: Value{I: int64(loopSlot)}})
+
+	// The loop body may run zero times, so only the loop variable joins the
+	// definite set inside it and the body's assignments do not escape.
+	bodyDef := cloneDef(def)
+	bodyDef[vr] = true
+	c.breaks = append(c.breaks, nil)
+	if _, err := c.stmts(x.Body, bodyDef); err != nil {
+		return err
+	}
+	c.emit(instr{op: opForNext, a: hid, c: head})
+
+	end := int32(len(c.code))
+	c.code[initPC].c = end
+	for _, pc := range c.breaks[len(c.breaks)-1] {
+		c.code[pc].c = end
+	}
+	c.breaks = c.breaks[:len(c.breaks)-1]
+	return nil
+}
+
+// ifStmt lowers a conditional and merges the branches' definite-assignment
+// sets into def. It reports whether execution can continue past the if.
+func (c *compiler) ifStmt(x *IfStmt, def []bool) (bool, error) {
+	mark := c.tmp
+	rc, err := c.expr(x.Cond, def, -1)
+	if err != nil {
+		return false, err
+	}
+	jz := c.emit(instr{op: opJz, a: rc})
+	c.tmp = mark
+
+	defT := cloneDef(def)
+	thenC, err := c.stmts(x.Then, defT)
+	if err != nil {
+		return false, err
+	}
+	if len(x.Else) == 0 {
+		c.code[jz].c = int32(len(c.code))
+		// Fall-through path keeps def as-is; the merged set is the
+		// intersection with defT, which def already is.
+		return true, nil
+	}
+
+	jmp := c.emit(instr{op: opJump})
+	c.code[jz].c = int32(len(c.code))
+	defE := cloneDef(def)
+	elseC, err := c.stmts(x.Else, defE)
+	if err != nil {
+		return false, err
+	}
+	c.code[jmp].c = int32(len(c.code))
+
+	switch {
+	case thenC && elseC:
+		for i := range def {
+			def[i] = defT[i] && defE[i]
+		}
+	case thenC:
+		copy(def, defT) // else always breaks: only the then path continues
+	case elseC:
+		copy(def, defE)
+	default:
+		return false, nil // both branches break: nothing continues past the if
+	}
+	return true, nil
+}
+
+// expr lowers an expression, returning the register holding its value. With
+// dst ≥ 0 the result is forced into that register (only the final emitted
+// instruction writes it, so RHS reads of the same register see the old
+// value, exactly like the interpreter's evaluate-then-assign order).
+func (c *compiler) expr(e Expr, def []bool, dst int32) (int32, error) {
+	switch x := e.(type) {
+	case *Const:
+		d := c.dest(dst)
+		c.emit(instr{op: opConst, dst: d, imm: Value{T: x.T, F: x.F, I: x.I}})
+		return d, nil
+
+	case *TIDExpr:
+		d := c.dest(dst)
+		c.emit(instr{op: opTID, dst: d})
+		return d, nil
+
+	case *NTExpr:
+		d := c.dest(dst)
+		c.emit(instr{op: opNT, dst: d})
+		return d, nil
+
+	case *ParamExpr:
+		slot := c.paramSlot(x.Name)
+		d := c.dest(dst)
+		c.emit(instr{op: opParam, dst: d, a: slot})
+		return d, nil
+
+	case *VarExpr:
+		r, ok := c.vars[x.Name]
+		if !ok || !def[r] {
+			return 0, unsupportedf("variable %q may be read before assignment", x.Name)
+		}
+		if dst < 0 {
+			return r, nil
+		}
+		c.emit(instr{op: opMove, dst: dst, a: r})
+		return dst, nil
+
+	case *BinExpr:
+		mark := c.tmp
+		ra, err := c.expr(x.A, def, -1)
+		if err != nil {
+			return 0, err
+		}
+		rb, err := c.expr(x.B, def, -1)
+		if err != nil {
+			return 0, err
+		}
+		c.tmp = mark
+		d := c.dest(dst)
+		c.emit(instr{op: opBin, sub: uint8(x.Op), dst: d, a: ra, b: rb})
+		return d, nil
+
+	case *UnExpr:
+		mark := c.tmp
+		ra, err := c.expr(x.A, def, -1)
+		if err != nil {
+			return 0, err
+		}
+		c.tmp = mark
+		d := c.dest(dst)
+		c.emit(instr{op: opUn, sub: uint8(x.Op), dst: d, a: ra, c: int32(x.Op.IntrinsicCost())})
+		return d, nil
+
+	case *LoadExpr:
+		slot := c.bufSlot(x.Buf)
+		mark := c.tmp
+		c.emit(instr{op: opBufChk, b: slot})
+		ri, err := c.expr(x.Idx, def, -1)
+		if err != nil {
+			return 0, err
+		}
+		c.tmp = mark
+		d := c.dest(dst)
+		c.emit(instr{op: opLoad, dst: d, a: ri, b: slot})
+		return d, nil
+
+	case *CastExpr:
+		mark := c.tmp
+		ra, err := c.expr(x.A, def, -1)
+		if err != nil {
+			return 0, err
+		}
+		c.tmp = mark
+		d := c.dest(dst)
+		c.emit(instr{op: opCast, sub: uint8(x.T), dst: d, a: ra})
+		return d, nil
+
+	case *SelExpr:
+		mark := c.tmp
+		rc, err := c.expr(x.Cond, def, -1)
+		if err != nil {
+			return 0, err
+		}
+		ra, err := c.expr(x.A, def, -1)
+		if err != nil {
+			return 0, err
+		}
+		rb, err := c.expr(x.B, def, -1)
+		if err != nil {
+			return 0, err
+		}
+		c.tmp = mark
+		d := c.dest(dst)
+		c.emit(instr{op: opSel, dst: d, a: rc, b: ra, c: rb})
+		return d, nil
+
+	case nil:
+		return 0, unsupportedf("nil expression")
+	default:
+		return 0, unsupportedf("unknown expression %T", e)
+	}
+}

@@ -54,6 +54,25 @@ func NewStats() *Stats {
 	}
 }
 
+// ensureMaps replaces nil count maps with empty ones so that a zero-thread
+// launch, an interpreted launch, and a compiled launch all leave behind the
+// same empty-map (never nil-map) Stats shape. Zero-value Stats literals
+// become usable everywhere NewStats results are.
+func (s *Stats) ensureMaps() {
+	if s.Trips == nil {
+		s.Trips = map[string]int64{}
+	}
+	if s.Entries == nil {
+		s.Entries = map[string]int64{}
+	}
+	if s.BufLd == nil {
+		s.BufLd = map[string]int64{}
+	}
+	if s.BufSt == nil {
+		s.BufSt = map[string]int64{}
+	}
+}
+
 // PerThread returns the average per-thread instruction vector.
 func (s *Stats) PerThread() arch.ClassVec {
 	if s.Threads == 0 {
@@ -303,17 +322,38 @@ func (in *interp) runThread(tid int) (err error) {
 	return nil
 }
 
-// ExecThread interprets one thread of the kernel. Statistics are accumulated
+// ExecThread executes one thread of the kernel. Statistics are accumulated
 // into st when non-nil.
 func (k *Kernel) ExecThread(tid int, env *Env, st *Stats) error {
 	return k.ExecRange(tid, tid+1, env, st)
 }
 
-// ExecRange interprets threads [lo, hi) in thread-index order, reusing one
-// pooled interpreter state for the whole range. Statistics are accumulated
-// into st when non-nil. It is the sequential building block the
-// block-parallel engine hands to each worker.
+// ExecRange executes threads [lo, hi) in thread-index order. Kernels the
+// compiler covers run on the cached slot-indexed Program (see compile.go);
+// anything else falls back to the interpreter. Both engines produce
+// bit-identical buffers, statistics, and errors, so callers cannot tell
+// which one ran.
 func (k *Kernel) ExecRange(lo, hi int, env *Env, st *Stats) error {
+	if p := k.resolveProgram(); p != nil {
+		return p.ExecRange(lo, hi, env, st)
+	}
+	return k.InterpretRange(lo, hi, env, st)
+}
+
+// ExecAll executes every thread of the launch sequentially, in thread-index
+// order — exactly what a software GPU emulator does.
+func (k *Kernel) ExecAll(env *Env, st *Stats) error {
+	return k.ExecRange(0, env.NThreads, env, st)
+}
+
+// InterpretRange interprets threads [lo, hi) in thread-index order on the
+// tree-walking interpreter, reusing one pooled interpreter state for the
+// whole range. Statistics are accumulated into st when non-nil. This is the
+// reference engine: the compiled path must match it bit for bit.
+func (k *Kernel) InterpretRange(lo, hi int, env *Env, st *Stats) error {
+	if st != nil {
+		st.ensureMaps()
+	}
 	in := interpPool.Get().(*interp)
 	in.k, in.env, in.st = k, env, st
 	defer func() {
@@ -331,10 +371,10 @@ func (k *Kernel) ExecRange(lo, hi int, env *Env, st *Stats) error {
 	return nil
 }
 
-// ExecAll interprets every thread of the launch sequentially, in thread-index
-// order — exactly what a software GPU emulator does.
-func (k *Kernel) ExecAll(env *Env, st *Stats) error {
-	return k.ExecRange(0, env.NThreads, env, st)
+// InterpretAll interprets every thread of the launch sequentially on the
+// tree-walking interpreter, bypassing the compiled engine.
+func (k *Kernel) InterpretAll(env *Env, st *Stats) error {
+	return k.InterpretRange(0, env.NThreads, env, st)
 }
 
 // SampleStats interprets up to sample threads spread evenly across the launch

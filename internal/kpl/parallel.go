@@ -37,6 +37,7 @@ func (s *Stats) Merge(other *Stats) {
 	if other == nil {
 		return
 	}
+	s.ensureMaps()
 	s.Instr = s.Instr.Add(other.Instr)
 	for k, v := range other.Trips {
 		s.Trips[k] += v
@@ -52,6 +53,36 @@ func (s *Stats) Merge(other *Stats) {
 	}
 	s.Threads += other.Threads
 }
+
+// shadowPool recycles per-worker shadow buffers across launches. Experiment
+// sweeps relaunch the same kernels thousands of times; without the pool every
+// launch re-allocates a full copy of each writable buffer per worker.
+var shadowPool = sync.Pool{New: func() any { return new(Buffer) }}
+
+// shadowOf returns a pooled, write-tracking copy of b for one worker.
+func shadowOf(b *Buffer) *Buffer {
+	s := shadowPool.Get().(*Buffer)
+	s.Elem = b.Elem
+	s.F32s, s.F64s, s.I32s = s.F32s[:0], s.F64s[:0], s.I32s[:0]
+	switch b.Elem {
+	case F32:
+		s.F32s = append(s.F32s, b.F32s...)
+	case F64:
+		s.F64s = append(s.F64s, b.F64s...)
+	default:
+		s.I32s = append(s.I32s, b.I32s...)
+	}
+	n := b.Len()
+	if cap(s.written) < n {
+		s.written = make([]bool, n)
+	} else {
+		s.written = s.written[:n]
+		clear(s.written)
+	}
+	return s
+}
+
+func releaseShadow(s *Buffer) { shadowPool.Put(s) }
 
 // threadSpan is a contiguous range of thread indices covering whole blocks.
 type threadSpan struct{ lo, hi int }
@@ -96,6 +127,9 @@ func blockSpans(n, blockSize, nBlocks, workers int) []threadSpan {
 // atomic fold would reorder floating-point accumulation), as do single-block
 // and single-worker launches.
 func (k *Kernel) ExecBlocks(env *Env, st *Stats, blockSize, workers int) error {
+	if st != nil {
+		st.ensureMaps()
+	}
 	n := env.NThreads
 	if n <= 0 {
 		return nil
@@ -110,8 +144,10 @@ func (k *Kernel) ExecBlocks(env *Env, st *Stats, blockSize, workers int) error {
 	if workers > nBlocks {
 		workers = nBlocks
 	}
+	// Resolve the compiled program once per launch; every worker shares it.
+	p := k.resolveProgram()
 	if workers <= 1 || k.HasAtomics() {
-		return k.ExecRange(0, n, env, st)
+		return k.execRange(p, 0, n, env, st)
 	}
 
 	spans := blockSpans(n, blockSize, nBlocks, workers)
@@ -127,9 +163,7 @@ func (k *Kernel) ExecBlocks(env *Env, st *Stats, blockSize, workers int) error {
 				we.Bufs[name] = b // never written (enforced by Validate)
 				continue
 			}
-			shadow := cloneBuffer(b)
-			shadow.trackWrites()
-			we.Bufs[name] = shadow
+			we.Bufs[name] = shadowOf(b)
 		}
 		envs[w] = we
 		if st != nil {
@@ -138,12 +172,23 @@ func (k *Kernel) ExecBlocks(env *Env, st *Stats, blockSize, workers int) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			errs[w] = k.ExecRange(spans[w].lo, spans[w].hi, envs[w], stats[w])
+			errs[w] = k.execRange(p, spans[w].lo, spans[w].hi, envs[w], stats[w])
 		}(w)
 	}
 	wg.Wait()
+
+	release := func() {
+		for w := range envs {
+			for name, shadow := range envs[w].Bufs {
+				if shadow != env.Bufs[name] {
+					releaseShadow(shadow)
+				}
+			}
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
+			release()
 			return err // lowest worker index = lowest failing thread range
 		}
 	}
@@ -161,5 +206,6 @@ func (k *Kernel) ExecBlocks(env *Env, st *Stats, blockSize, workers int) error {
 			}
 		}
 	}
+	release()
 	return nil
 }
