@@ -13,6 +13,10 @@
 // -workers sizes the experiment-harness worker pool (0 = one worker per CPU,
 // 1 = serial). Results are identical for every value; only wall-clock changes.
 //
+// -metrics FILE writes the harness observability snapshot (counters, gauges,
+// histograms; see internal/metrics) as JSON after the selected experiments
+// finish. The snapshot is byte-identical for any -workers value.
+//
 // -cpuprofile and -memprofile write pprof profiles covering the selected
 // experiments, for inspection with `go tool pprof`.
 package main
@@ -35,8 +39,9 @@ func main() {
 		"fault-injection spec for the faults drill (key=value pairs; see internal/ipc.ParseFaults)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	metricsFile := flag.String("metrics", "", "write the harness metrics snapshot (JSON) to this file on exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sigmavp [-scale N] [-workers N] [-faults SPEC] [-cpuprofile FILE] [-memprofile FILE] table1|fig3|fig9a|fig9b|fig10a|fig10b|fig11|fig12|fig13|sweep|scaling|faults|all\n")
+		fmt.Fprintf(os.Stderr, "usage: sigmavp [-scale N] [-workers N] [-faults SPEC] [-metrics FILE] [-cpuprofile FILE] [-memprofile FILE] table1|fig3|fig9a|fig9b|fig10a|fig10b|fig11|fig12|fig13|sweep|scaling|faults|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -91,6 +96,15 @@ func main() {
 			fail("sigmavp: %s: %v\n", name, err)
 		}
 		fmt.Println(res.String())
+	}
+	if *metricsFile != "" {
+		data, err := experiments.Metrics().Snapshot().JSON()
+		if err != nil {
+			fail("sigmavp: -metrics: %v\n", err)
+		}
+		if err := os.WriteFile(*metricsFile, append(data, '\n'), 0o644); err != nil {
+			fail("sigmavp: -metrics: %v\n", err)
+		}
 	}
 	finishProfiles()
 }

@@ -3,15 +3,24 @@
 // manager) and multiplex this process's simulated host GPU. Pair it with
 // `vpsim -connect <addr>`.
 //
+// With -http, the daemon also serves an observability endpoint:
+//
+//	GET /metrics  — the service registry snapshot (counters, gauges,
+//	                histograms, per-job events) as deterministic JSON
+//	GET /trace    — the engine timeline (records, span, per-engine
+//	                utilization) as JSON
+//
 // Usage:
 //
-//	sigmavpd [-listen 127.0.0.1:7075] [-arch quadro|k520] [-baseline]
+//	sigmavpd [-listen 127.0.0.1:7075] [-http ADDR] [-arch quadro|k520] [-baseline]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 
@@ -23,6 +32,7 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7075", "TCP listen address")
+	httpAddr := flag.String("http", "", "serve /metrics and /trace on this address (empty = disabled)")
 	archName := flag.String("arch", "quadro", "host GPU: quadro or k520")
 	baseline := flag.Bool("baseline", false, "disable the optimizations (serialized dispatch)")
 	flag.Parse()
@@ -41,6 +51,10 @@ func main() {
 		opts.Policy = sched.PolicyFIFO
 		opts.Coalesce = false
 	}
+	if *httpAddr != "" {
+		// /trace is only useful with the timeline recorder on.
+		opts.Trace = true
+	}
 	svc := core.NewService(opts)
 
 	l, err := net.Listen("tcp", *listen)
@@ -52,12 +66,81 @@ func main() {
 	// connection dies mid-batch has its orphaned jobs cancelled instead of
 	// wedging the batching predicate.
 	srv := ipc.ServeWithHooks(l, svc.Handle, svc.RegisterVP, svc.DisconnectVP)
+	srv.SetMetrics(svc.Metrics())
 	fmt.Printf("sigmavpd: serving %s on %s (optimizations %v)\n",
 		opts.Arch.Name, srv.Addr(), !*baseline)
+
+	var obs *http.Server
+	if *httpAddr != "" {
+		hl, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sigmavpd: -http:", err)
+			os.Exit(1)
+		}
+		obs = &http.Server{Handler: buildMux(svc)}
+		go obs.Serve(hl)
+		fmt.Printf("sigmavpd: observability on http://%s (/metrics, /trace)\n", hl.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
+	if obs != nil {
+		obs.Close()
+	}
 	srv.Close()
 	fmt.Printf("sigmavpd: shut down; simulated device time %.3f ms\n", svc.Sync()*1e3)
+}
+
+// traceView is the /trace response shape.
+type traceView struct {
+	SpanStart   float64            `json:"span_start"`
+	SpanEnd     float64            `json:"span_end"`
+	Utilization map[string]float64 `json:"utilization"`
+	Records     []traceRecord      `json:"records"`
+}
+
+type traceRecord struct {
+	Engine string  `json:"engine"`
+	Stream int     `json:"stream"`
+	Label  string  `json:"label"`
+	Start  float64 `json:"start"`
+	End    float64 `json:"end"`
+}
+
+// buildMux wires the observability endpoints for a service.
+func buildMux(svc *core.Service) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		data, err := svc.Metrics().Snapshot().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(data, '\n'))
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		tl := svc.Trace()
+		if tl == nil {
+			http.Error(w, "trace disabled", http.StatusNotFound)
+			return
+		}
+		view := traceView{Utilization: tl.Utilization(), Records: []traceRecord{}}
+		view.SpanStart, view.SpanEnd = tl.Span()
+		for _, rec := range tl.Records() {
+			view.Records = append(view.Records, traceRecord{
+				Engine: rec.Engine, Stream: rec.Stream, Label: rec.Label,
+				Start: rec.Start, End: rec.End,
+			})
+		}
+		data, err := json.MarshalIndent(view, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(data, '\n'))
+	})
+	return mux
 }

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ipc"
+	"repro/internal/metrics"
+)
+
+// TestObservabilityEndpoints drives a service through the pipe transport and
+// checks /metrics and /trace return well-formed JSON reflecting the traffic.
+func TestObservabilityEndpoints(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Trace = true
+	svc := core.NewService(opts)
+	mux := buildMux(svc)
+
+	svc.RegisterVP(1)
+	c := ipc.Pipe(1, svc.Handle)
+	resp, err := c.Call(ipc.MallocReq{Size: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptr := resp.(ipc.MallocResp).Ptr
+	if _, err := c.Call(ipc.H2DReq{Dst: ptr, Data: make([]byte, 1<<12)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call(ipc.SyncReq{}); err != nil {
+		t.Fatal(err)
+	}
+	svc.UnregisterVP(1)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("/metrics not JSON: %v", err)
+	}
+	if snap.CounterValue("core.jobs_submitted") == 0 {
+		t.Fatal("/metrics shows no submitted jobs after traffic")
+	}
+	if len(snap.Events) == 0 {
+		t.Fatal("/metrics shows no job events after traffic")
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/trace", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/trace status %d", rec.Code)
+	}
+	var view traceView
+	if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+		t.Fatalf("/trace not JSON: %v", err)
+	}
+	if len(view.Records) == 0 {
+		t.Fatal("/trace shows no records after an H2D copy")
+	}
+	for eng, u := range view.Utilization {
+		if u < 0 || u > 1+1e-12 {
+			t.Fatalf("utilization[%s] = %v out of range", eng, u)
+		}
+	}
+}
+
+// TestTraceDisabled checks /trace 404s when the recorder is off.
+func TestTraceDisabled(t *testing.T) {
+	svc := core.NewService(core.DefaultOptions())
+	mux := buildMux(svc)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/trace", nil))
+	if rec.Code != 404 {
+		t.Fatalf("/trace with tracing off: status %d, want 404", rec.Code)
+	}
+}

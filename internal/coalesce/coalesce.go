@@ -75,9 +75,15 @@ func Apply(g *hostgpu.GPU, batch []*sched.Job) []*sched.Job {
 		if len(members) < 2 {
 			continue
 		}
+		// Kernel Match found a mergeable group; the win predictor decides
+		// whether merging actually pays.
+		g.Metrics.Counter("coalesce.matches").Inc()
 		if !beneficial(g, members) {
+			g.Metrics.Counter("coalesce.rejected").Inc()
 			continue
 		}
+		g.Metrics.Counter("coalesce.wins").Inc()
+		g.Metrics.Counter("coalesce.jobs_merged").Add(int64(len(members)))
 		merged := Merge(g, members)
 		for _, m := range members {
 			replaced[m] = merged

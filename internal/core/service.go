@@ -17,6 +17,7 @@ import (
 	"repro/internal/ipc"
 	"repro/internal/kernels"
 	"repro/internal/kpl"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
@@ -47,6 +48,11 @@ type Options struct {
 	// on the host GPU model (0 = runtime.NumCPU(), 1 = serial). Simulated
 	// time and profiles are identical for every value.
 	Workers int
+
+	// Metrics receives the service's counters and the structured job trace
+	// (submitted → scheduled → dispatched → completed/cancelled). Nil creates
+	// a fresh registry, available via Service.Metrics().
+	Metrics *metrics.Registry
 }
 
 // DefaultOptions returns a fully-optimized service on a Quadro 4000.
@@ -69,7 +75,8 @@ type Service struct {
 	// Options.EstimateTarget is set.
 	Estimator *Estimation
 
-	queue *sched.Queue
+	metrics *metrics.Registry
+	queue   *sched.Queue
 
 	mu      sync.Mutex
 	active  map[int]bool // registered VPs
@@ -99,10 +106,18 @@ func NewService(opts Options) *Service {
 	if opts.Trace {
 		g.Trace = trace.New()
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.New()
+	}
+	g.Metrics = reg
+	q := sched.NewQueue()
+	q.Metrics = reg
 	s := &Service{
 		GPU:     g,
 		opts:    opts,
-		queue:   sched.NewQueue(),
+		metrics: reg,
+		queue:   q,
 		active:  map[int]bool{},
 		blocked: map[int]bool{},
 	}
@@ -114,6 +129,11 @@ func NewService(opts Options) *Service {
 
 // Options returns the service configuration.
 func (s *Service) Options() Options { return s.opts }
+
+// Metrics returns the service's registry (never nil): service counters, the
+// structured job trace, and the counters of every subsystem the service owns
+// (device model, queue, coalescer).
+func (s *Service) Metrics() *metrics.Registry { return s.metrics }
 
 // RegisterVP announces a VP to the batching logic.
 func (s *Service) RegisterVP(id int) {
@@ -151,6 +171,13 @@ func (s *Service) DisconnectVP(id int) {
 	for _, j := range s.queue.RemoveVP(id) {
 		if !j.Done() {
 			j.Finish(fmt.Errorf("core: vp %d: %w", id, ErrCancelled))
+			s.metrics.Counter("core.jobs_cancelled").Inc()
+			s.metrics.Gauge("core.jobs_in_flight").Sub(1)
+			s.metrics.Event(metrics.Event{
+				Kind: metrics.EventCancelled, VP: j.VP, Stream: j.Stream,
+				Engine: j.Engine, Label: j.Label, Time: s.GPU.Sync(),
+				Err: ErrCancelled.Error(),
+			})
 		}
 	}
 	s.maybeDispatch()
@@ -158,6 +185,13 @@ func (s *Service) DisconnectVP(id int) {
 
 // Submit enqueues a job without waiting.
 func (s *Service) Submit(j *sched.Job) {
+	j.SubmitTime = s.GPU.Sync()
+	s.metrics.Counter("core.jobs_submitted").Inc()
+	s.metrics.Gauge("core.jobs_in_flight").Add(1)
+	s.metrics.Event(metrics.Event{
+		Kind: metrics.EventSubmitted, VP: j.VP, Stream: j.Stream,
+		Engine: j.Engine, Label: j.Label, Time: j.SubmitTime,
+	})
 	s.queue.Push(j)
 	s.maybeDispatch()
 }
@@ -217,19 +251,57 @@ func (s *Service) Flush() {
 	}
 }
 
-// dispatch runs one batch through the Re-scheduler and the device.
+// dispatch runs one batch through the Re-scheduler and the device, recording
+// each job's lifecycle into the service registry.
 func (s *Service) dispatch(batch []*sched.Job) {
+	orig := batch // the submitted jobs, before coalescing swallows members
 	if s.opts.Coalesce {
 		batch = coalesce.Apply(s.GPU, batch)
 	}
-	order := sched.Plan(batch, s.opts.Policy)
+	order := sched.PlanRecorded(batch, s.opts.Policy, s.metrics)
+	planTime := s.GPU.Sync()
+	for _, j := range order {
+		s.metrics.Event(metrics.Event{
+			Kind: metrics.EventScheduled, VP: j.VP, Stream: j.Stream,
+			Engine: j.Engine, Label: j.Label, Time: planTime,
+		})
+	}
 	for _, j := range order {
 		err := j.Run(s.GPU)
 		if !j.Done() {
 			j.Finish(err)
 		}
+		s.metrics.Event(metrics.Event{
+			Kind: metrics.EventDispatched, VP: j.VP, Stream: j.Stream,
+			Engine: j.Engine, Label: j.Label, Time: j.Interval.Start,
+		})
 		if s.Estimator != nil {
 			s.Estimator.observe(s, j)
+		}
+	}
+	// Completion accounting covers the *submitted* jobs: coalesced members
+	// never appear in the planned order, but the merged job's run fills their
+	// intervals and finishes them.
+	lat := s.metrics.Histogram("core.dispatch_latency_s", metrics.LatencyBuckets)
+	for _, j := range orig {
+		errMsg := ""
+		if j.Err != nil {
+			errMsg = j.Err.Error()
+			s.metrics.Counter("core.jobs_failed").Inc()
+		}
+		s.metrics.Counter("core.jobs_completed").Inc()
+		s.metrics.Gauge("core.jobs_in_flight").Sub(1)
+		s.metrics.Event(metrics.Event{
+			Kind: metrics.EventCompleted, VP: j.VP, Stream: j.Stream,
+			Engine: j.Engine, Label: j.Label, Time: j.Interval.End,
+			Start: j.Interval.Start, End: j.Interval.End, Err: errMsg,
+		})
+		if d := j.Interval.Start - j.SubmitTime; d >= 0 {
+			lat.Observe(d)
+		} else {
+			// The job started on an idle engine before the global sim
+			// frontier it was submitted at: zero queueing delay.
+			lat.Observe(0)
 		}
 	}
 }

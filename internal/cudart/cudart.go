@@ -14,6 +14,7 @@ import (
 	"repro/internal/emul"
 	"repro/internal/hostgpu"
 	"repro/internal/ipc"
+	"repro/internal/metrics"
 )
 
 // Token tracks an asynchronous operation.
@@ -265,6 +266,7 @@ type remoteBackend struct {
 	// retries is the extra-attempt budget for idempotent requests that fail
 	// with a retryable transport error (timeout, disconnect).
 	retries int
+	m       *metrics.Registry // nil-safe: counters degrade to no-ops
 }
 
 // DefaultRetries is the remote back end's retry budget for idempotent
@@ -288,6 +290,13 @@ func NewRemoteBackendRetries(c ipc.Client, retries int) Backend {
 	return &remoteBackend{c: c, retries: retries}
 }
 
+// NewRemoteBackendMetrics is NewRemoteBackendRetries with a registry counting
+// idempotent replays (cudart.retries) and retry exhaustion
+// (cudart.retries_exhausted).
+func NewRemoteBackendMetrics(c ipc.Client, retries int, m *metrics.Registry) Backend {
+	return &remoteBackend{c: c, retries: retries, m: m}
+}
+
 // callIdempotent issues a request, re-issuing it on retryable transport
 // errors. Only requests whose replay leaves the device in the same state may
 // go through here: the original may have been applied server-side even
@@ -295,7 +304,11 @@ func NewRemoteBackendRetries(c ipc.Client, retries int) Backend {
 func (r *remoteBackend) callIdempotent(req any) (any, error) {
 	resp, err := r.c.Call(req)
 	for attempt := 0; attempt < r.retries && ipc.IsRetryable(err); attempt++ {
+		r.m.Counter("cudart.retries").Inc()
 		resp, err = r.c.Call(req)
+	}
+	if ipc.IsRetryable(err) {
+		r.m.Counter("cudart.retries_exhausted").Inc()
 	}
 	return resp, err
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/hostgpu"
 	"repro/internal/kir"
 	"repro/internal/kpl"
+	"repro/internal/metrics"
 	"repro/internal/profile"
 )
 
@@ -41,6 +42,10 @@ type Device struct {
 	// host wall-clock changes.
 	Workers int
 
+	// Metrics, when non-nil, records per-op counters and the emulated busy
+	// time (emul.launches, emul.copies, emul.memsets, emul.busy_ns).
+	Metrics *metrics.Registry
+
 	mu  sync.Mutex
 	now float64
 }
@@ -52,6 +57,7 @@ func New(c arch.CPU, memBytes int64) *Device {
 
 // advance adds dur to the device timeline and returns the op interval.
 func (d *Device) advance(dur float64) hostgpu.Interval {
+	d.Metrics.Counter("emul.busy_ns").Add(int64(math.Round(dur * 1e9)))
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	start := d.now
@@ -78,6 +84,7 @@ func (d *Device) CopyH2D(dst devmem.Ptr, off int, src []byte) (hostgpu.Interval,
 	if err := d.Mem.Write(dst, off, src); err != nil {
 		return hostgpu.Interval{}, err
 	}
+	d.Metrics.Counter("emul.copies").Inc()
 	return d.advance(cpumodel.MemcpyTime(&d.CPU, len(src))), nil
 }
 
@@ -87,6 +94,7 @@ func (d *Device) CopyD2H(src devmem.Ptr, off, n int) ([]byte, hostgpu.Interval, 
 	if err != nil {
 		return nil, hostgpu.Interval{}, err
 	}
+	d.Metrics.Counter("emul.copies").Inc()
 	return data, d.advance(cpumodel.MemcpyTime(&d.CPU, n)), nil
 }
 
@@ -101,6 +109,7 @@ func (d *Device) Memset(dst devmem.Ptr, off, n int, value byte) (hostgpu.Interva
 	if err := d.Mem.Write(dst, off, fill); err != nil {
 		return hostgpu.Interval{}, err
 	}
+	d.Metrics.Counter("emul.memsets").Inc()
 	return d.advance(cpumodel.MemcpyTime(&d.CPU, n)), nil
 }
 
@@ -171,6 +180,7 @@ func (d *Device) Launch(l *hostgpu.Launch) (*profile.Profile, hostgpu.Interval, 
 	}
 
 	dur := cpumodel.EmulTime(&d.CPU, sigma, l.Threads())
+	d.Metrics.Counter("emul.launches").Inc()
 	iv := d.advance(dur)
 	cycles := dur * d.CPU.ClockHz()
 	p := &profile.Profile{

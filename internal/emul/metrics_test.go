@@ -1,0 +1,45 @@
+package emul
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/metrics"
+)
+
+func TestDeviceMetrics(t *testing.T) {
+	d := New(arch.HostXeon(), 1<<24)
+	d.Metrics = metrics.New()
+	l := vecAddLaunch(t, d, 300) // three H2D copies via alloc
+	if _, _, err := d.Launch(l); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.CopyD2H(l.Bindings["out"], 0, 4*300); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Memset(l.Bindings["out"], 0, 4*300, 0); err != nil {
+		t.Fatal(err)
+	}
+	m := d.Metrics
+	if got := m.Counter("emul.launches").Value(); got != 1 {
+		t.Fatalf("emul.launches = %d, want 1", got)
+	}
+	if got := m.Counter("emul.copies").Value(); got != 4 {
+		t.Fatalf("emul.copies = %d, want 4 (3 h2d + 1 d2h)", got)
+	}
+	if got := m.Counter("emul.memsets").Value(); got != 1 {
+		t.Fatalf("emul.memsets = %d, want 1", got)
+	}
+	// busy_ns rounds each op to whole nanos; allow 1ns of slack per op.
+	busy := m.Counter("emul.busy_ns").Value()
+	if want := int64(d.Now() * 1e9); busy <= 0 || abs64(busy-want) > 6 {
+		t.Fatalf("emul.busy_ns = %d, want ~%d", busy, want)
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// harnessSnapshot runs Fig. 3 (four device configurations, pooled as
+// independent cells) under the given worker-pool size with a fresh harness
+// registry, and returns the snapshot bytes.
+func harnessSnapshot(t *testing.T, workers int) []byte {
+	t.Helper()
+	oldWorkers := Workers()
+	defer SetWorkers(oldWorkers)
+	SetWorkers(workers)
+	SetMetrics(metrics.New())
+	defer SetMetrics(nil) // leave a fresh registry for other tests
+
+	if _, err := Fig3(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := Metrics().Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestHarnessSnapshotWorkerInvariance is the ISSUE's acceptance property at
+// the harness level: `sigmavp -metrics` output is byte-identical for
+// -workers 1 and -workers 4.
+func TestHarnessSnapshotWorkerInvariance(t *testing.T) {
+	serial := harnessSnapshot(t, 1)
+	pooled := harnessSnapshot(t, 4)
+	if !bytes.Equal(serial, pooled) {
+		t.Fatalf("harness snapshot differs between workers=1 and workers=4:\n--- workers=1\n%s\n--- workers=4\n%s", serial, pooled)
+	}
+	if len(serial) == 0 || string(serial) == "{}" {
+		t.Fatal("harness snapshot is empty after a study")
+	}
+}
+
+// TestFaultDrillSnapshotAttached checks the drill report carries its
+// observability snapshot.
+func TestFaultDrillSnapshotAttached(t *testing.T) {
+	res, err := FaultDrill("seed=5,drop=0.02", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.CounterValue("ipc.client.calls") == 0 {
+		t.Fatal("drill snapshot records no client calls")
+	}
+	if res.Metrics.CounterValue("ipc.server.connections") == 0 {
+		t.Fatal("drill snapshot records no server connections")
+	}
+	if !bytes.Contains([]byte(res.String()), []byte("observed:")) {
+		t.Fatal("drill report missing metrics summary line")
+	}
+}

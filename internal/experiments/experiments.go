@@ -133,7 +133,7 @@ func dispatch(g *hostgpu.GPU, batch []*sched.Job, policy sched.Policy, coalesceO
 		batch = applyCoalesce(g, batch)
 	}
 	var first error
-	for _, j := range sched.Plan(batch, policy) {
+	for _, j := range sched.PlanRecorded(batch, policy, g.Metrics) {
 		err := j.Run(g)
 		if !j.Done() {
 			j.Finish(err)

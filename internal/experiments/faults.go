@@ -13,6 +13,7 @@ import (
 	"repro/internal/devmem"
 	"repro/internal/ipc"
 	"repro/internal/kernels"
+	"repro/internal/metrics"
 	"repro/internal/vp"
 )
 
@@ -35,6 +36,9 @@ type FaultDrillResult struct {
 	// HealthyAfter reports whether a clean (fault-free) client completed a
 	// round trip after the drill.
 	HealthyAfter bool
+	// Metrics is the drill's observability snapshot: transport counters,
+	// injected faults, retries, and per-job events from the service.
+	Metrics metrics.Snapshot
 }
 
 // Completed returns how many VPs finished without any error.
@@ -62,6 +66,14 @@ func (r *FaultDrillResult) String() string {
 	}
 	fmt.Fprintf(&b, "  completed %d/%d VPs, data corruptions: %d, service healthy after drill: %v\n",
 		r.Completed(), r.VPs, r.Corruptions, r.HealthyAfter)
+	fmt.Fprintf(&b, "  observed: %d calls, %d retries, %d reconnects; injected faults: drop=%d corrupt=%d disconnect=%d delay=%d\n",
+		r.Metrics.CounterValue("ipc.client.calls"),
+		r.Metrics.CounterValue("cudart.retries"),
+		r.Metrics.CounterValue("ipc.client.reconnects"),
+		r.Metrics.CounterValue("ipc.faults.drop"),
+		r.Metrics.CounterValue("ipc.faults.corrupt"),
+		r.Metrics.CounterValue("ipc.faults.disconnect"),
+		r.Metrics.CounterValue("ipc.faults.delay"))
 	return b.String()
 }
 
@@ -84,12 +96,16 @@ func FaultDrill(spec string, vps, iters int) (*FaultDrillResult, error) {
 		iters = 4
 	}
 
-	svc := core.NewService(core.DefaultOptions())
+	reg := metrics.New()
+	opts := core.DefaultOptions()
+	opts.Metrics = reg
+	svc := core.NewService(opts)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
 	srv := ipc.ServeWithHooks(l, svc.Handle, svc.RegisterVP, svc.DisconnectVP)
+	srv.SetMetrics(reg)
 	defer srv.Close()
 	addr := srv.Addr().String()
 
@@ -109,6 +125,7 @@ func FaultDrill(spec string, vps, iters int) (*FaultDrillResult, error) {
 			BackoffBase: time.Millisecond,
 			BackoffCap:  20 * time.Millisecond,
 			Faults:      &faults,
+			Metrics:     reg,
 		})
 	}
 
@@ -125,7 +142,8 @@ func FaultDrill(spec string, vps, iters int) (*FaultDrillResult, error) {
 		}
 		clients[id] = c
 		fleet.VPs = append(fleet.VPs,
-			vp.New(id, arch.ARMVersatile(), cudart.NewContext(id, cudart.NewRemoteBackend(c))))
+			vp.New(id, arch.ARMVersatile(),
+				cudart.NewContext(id, cudart.NewRemoteBackendMetrics(c, cudart.DefaultRetries, reg))))
 	}
 	defer func() {
 		for _, c := range clients {
@@ -233,6 +251,8 @@ func FaultDrill(spec string, vps, iters int) (*FaultDrillResult, error) {
 			}
 		}
 	}
+
+	res.Metrics = reg.Snapshot()
 
 	if res.Corruptions > 0 {
 		return res, fmt.Errorf("fault drill: %d corrupted round trips delivered as success", res.Corruptions)

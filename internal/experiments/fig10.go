@@ -80,7 +80,7 @@ func Fig10a() (*Fig10aResult, error) {
 	)
 
 	timeFor := func(n int) (float64, error) {
-		g := hostgpu.New(arch.Quadro4000(), 1<<30)
+		g := newGPU(arch.Quadro4000(), 1<<30)
 		g.Mode = hostgpu.ExecTimingOnly
 		perProgram := totalElems / n
 		payload := make([]byte, 4*perProgram)

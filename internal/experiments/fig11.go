@@ -144,7 +144,7 @@ func staticOrSampledSigma(bench *kernels.Benchmark, w *kernels.Workload, kl kir.
 // runSigmaVP measures the GPU-side makespan of nVPs VPs each running the
 // benchmark's application loop through the ΣVP service, plus the IPC costs.
 func runSigmaVP(bench *kernels.Benchmark, w *kernels.Workload, nVPs int, optimized bool, ipc IPCCost) (float64, error) {
-	g := hostgpu.New(arch.Quadro4000(), 1<<32)
+	g := newGPU(arch.Quadro4000(), 1<<32)
 	g.Mode = hostgpu.ExecTimingOnly
 	g.Serialize = !optimized
 	policy := sched.PolicyFIFO

@@ -117,7 +117,7 @@ func fig12Cell(name string, scale int) ([]Fig12Row, error) {
 // measureOn provisions and launches the benchmark once on the given
 // architecture, returning the profiler's view.
 func measureOn(g *arch.GPU, bench *kernels.Benchmark, w *kernels.Workload) (*profile.Profile, error) {
-	dev := hostgpu.New(*g, 1<<32)
+	dev := newGPU(*g, 1<<32)
 	dev.Mode = hostgpu.ExecTimingOnly
 	p, err := provision(dev, bench, w)
 	if err != nil {
@@ -147,7 +147,7 @@ func estimatorInputs(host, target *arch.GPU, bench *kernels.Benchmark, w *kernel
 		return nil, err
 	}
 	// Access streams come from a device-side resolution (geometry-neutral).
-	dev := hostgpu.New(*target, 1<<32)
+	dev := newGPU(*target, 1<<32)
 	dev.Mode = hostgpu.ExecTimingOnly
 	p, err := provision(dev, bench, w)
 	if err != nil {

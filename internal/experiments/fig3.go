@@ -42,7 +42,7 @@ func Fig3() (*Fig3Result, error) {
 	iters := calibrateBusyIters(&q, prog, 512, 256, tm)
 
 	run := func(interleaved bool) (string, float64, map[string]float64, error) {
-		g := hostgpu.New(q, 1<<32)
+		g := newGPU(q, 1<<32)
 		g.Mode = hostgpu.ExecTimingOnly
 		g.Serialize = !interleaved
 		g.Trace = trace.New()

@@ -100,7 +100,7 @@ func runInterleaving(n, copyBytes, iters int) (serial, interleaved float64, err 
 		return 0, 0, err
 	}
 	run := func(serialize bool, policy sched.Policy) (float64, error) {
-		g := hostgpu.New(arch.Quadro4000(), 1<<32)
+		g := newGPU(arch.Quadro4000(), 1<<32)
 		g.Mode = hostgpu.ExecTimingOnly
 		g.Serialize = serialize
 		var batch []*sched.Job

@@ -89,7 +89,7 @@ func emulScenario(bench *kernels.Benchmark, scale, n int) (float64, error) {
 // runSigmaVPN is runSigmaVP with a configurable VP count.
 func runSigmaVPN(bench *kernels.Benchmark, scale, nVPs int, optimized bool, ipc IPCCost) (float64, error) {
 	w := bench.MakeWorkload(scale)
-	g := hostgpu.New(arch.Quadro4000(), 1<<33)
+	g := newGPU(arch.Quadro4000(), 1<<33)
 	g.Mode = hostgpu.ExecTimingOnly
 	g.Serialize = !optimized
 	policy := sched.PolicyFIFO

@@ -45,7 +45,7 @@ func Table1() (*Table1Result, error) {
 	w := kernels.MatMulWorkload(320, 320, 320)
 
 	// --- Row 1: CUDA executed natively by the (host) GPU. ---
-	g := hostgpu.New(arch.Quadro4000(), 1<<30)
+	g := newGPU(arch.Quadro4000(), 1<<30)
 	g.Mode = hostgpu.ExecTimingOnly
 	p, err := provision(g, bench, w)
 	if err != nil {

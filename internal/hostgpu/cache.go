@@ -112,8 +112,10 @@ func (g *GPU) cacheLookup(key string) *timingEntry {
 	g.cacheMu.RUnlock()
 	if e != nil {
 		g.cacheHits.Add(1)
+		g.Metrics.Counter("hostgpu.timing_cache.hits").Inc()
 	} else {
 		g.cacheMisses.Add(1)
+		g.Metrics.Counter("hostgpu.timing_cache.misses").Inc()
 	}
 	return e
 }
@@ -133,6 +135,17 @@ func (g *GPU) cacheStore(key string, e *timingEntry) {
 // identical launches — the steady state of every Iterations-heavy
 // application — price in O(1).
 func (g *GPU) LaunchTiming(l *Launch) (arch.ClassVec, []cachemodel.Access, Timing, error) {
+	if l.Threads() <= 0 {
+		// Guard the per-thread normalization below: Scale(1/0) would price
+		// the launch with NaN/Inf timings and — worse — memoize them, so
+		// every later identical launch would serve the poisoned entry as a
+		// cache hit.
+		name := "?"
+		if l.Kernel != nil {
+			name = l.Kernel.Name
+		}
+		return arch.ClassVec{}, nil, Timing{}, fmt.Errorf("hostgpu: %s: zero-thread launch %d×%d cannot be priced", name, l.Grid, l.Block)
+	}
 	key, cacheable := g.timingKey(l)
 	var sigma arch.ClassVec
 	var accesses []cachemodel.Access

@@ -11,6 +11,7 @@ import (
 	"repro/internal/devmem"
 	"repro/internal/kir"
 	"repro/internal/kpl"
+	"repro/internal/metrics"
 	"repro/internal/profile"
 	"repro/internal/trace"
 )
@@ -129,6 +130,11 @@ type GPU struct {
 	// Trace optionally records the engine timeline.
 	Trace *trace.Log
 
+	// Metrics optionally receives device counters: per-engine op counts and
+	// busy time, CKE slot occupancy, timing-cache hits/misses. A nil registry
+	// is a no-op.
+	Metrics *metrics.Registry
+
 	// Workers sizes the worker pool for block-parallel functional kernel
 	// interpretation in ExecFull mode (0 = runtime.NumCPU(), 1 = serial).
 	// Simulated-time results are identical for every value.
@@ -187,17 +193,17 @@ func (g *GPU) schedule(engine string, stream int, dur float64, label string) Int
 		engineReady = g.engineFree[engine]
 	}
 	start := math.Max(g.streamReady[stream], engineReady)
+	occupancy := 1.0
 	if cke {
 		// Sharing the SMs: the kernel slows down in proportion to the
 		// kernels already in flight at its start (static fair share — the
 		// reason CKE alone "can lead to suboptimal performance", Fig. 3a).
-		overlapping := 1.0
 		for i, t := range g.computeSlots {
 			if i != slot && t > start {
-				overlapping++
+				occupancy++
 			}
 		}
-		dur *= overlapping
+		dur *= occupancy
 	}
 	if g.Serialize {
 		for _, t := range g.engineFree {
@@ -222,6 +228,13 @@ func (g *GPU) schedule(engine string, stream int, dur float64, label string) Int
 	g.mu.Unlock()
 	if g.Trace != nil {
 		g.Trace.Add(trace.Record{Engine: engine, Stream: stream, Label: label, Start: start, End: end})
+	}
+	if g.Metrics != nil {
+		g.Metrics.Counter("hostgpu.ops."+engine).Inc()
+		g.Metrics.Counter("hostgpu.engine_busy_ns."+engine).Add(int64(math.Round(dur * 1e9)))
+		if cke {
+			g.Metrics.Histogram("hostgpu.cke_occupancy", metrics.CountBuckets).Observe(occupancy)
+		}
 	}
 	return Interval{Start: start, End: end}
 }

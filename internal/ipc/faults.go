@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // FaultConfig describes deterministic fault injection on a transport
@@ -103,6 +105,7 @@ func ParseFaults(spec string) (FaultConfig, error) {
 type faultConn struct {
 	net.Conn
 	cfg FaultConfig
+	m   *metrics.Registry // nil-safe: counters degrade to no-ops
 	mu  sync.Mutex
 	rng *rand.Rand
 }
@@ -110,10 +113,16 @@ type faultConn struct {
 // WrapFaulty wraps conn with deterministic fault injection. A config with
 // all probabilities zero returns conn unchanged.
 func WrapFaulty(conn net.Conn, cfg FaultConfig) net.Conn {
+	return WrapFaultyMetrics(conn, cfg, nil)
+}
+
+// WrapFaultyMetrics is WrapFaulty with a registry counting each injected
+// fault (ipc.faults.drop / corrupt / disconnect / delay).
+func WrapFaultyMetrics(conn net.Conn, cfg FaultConfig, m *metrics.Registry) net.Conn {
 	if !cfg.enabled() {
 		return conn
 	}
-	return &faultConn{Conn: conn, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	return &faultConn{Conn: conn, cfg: cfg, m: m, rng: rand.New(rand.NewSource(cfg.Seed))}
 }
 
 // roll draws the fault decisions for one I/O operation.
@@ -150,17 +159,21 @@ func (f *faultConn) corruptIndex(n int) int {
 func (f *faultConn) Write(b []byte) (int, error) {
 	drop, corrupt, disconnect, delay := f.roll()
 	if delay > 0 {
+		f.m.Counter("ipc.faults.delay").Inc()
 		time.Sleep(delay)
 	}
 	if disconnect {
+		f.m.Counter("ipc.faults.disconnect").Inc()
 		f.Conn.Close()
 		return 0, &DisconnectError{Op: "write", Cause: fmt.Errorf("injected disconnect fault")}
 	}
 	if drop {
 		// Pretend the frame was written; the peer never sees it.
+		f.m.Counter("ipc.faults.drop").Inc()
 		return len(b), nil
 	}
 	if corrupt && len(b) > 0 {
+		f.m.Counter("ipc.faults.corrupt").Inc()
 		mangled := make([]byte, len(b))
 		copy(mangled, b)
 		mangled[f.corruptIndex(len(b))] ^= 0xFF
@@ -182,6 +195,7 @@ func (f *faultConn) readDelay() time.Duration {
 
 func (f *faultConn) Read(b []byte) (int, error) {
 	if delay := f.readDelay(); delay > 0 {
+		f.m.Counter("ipc.faults.delay").Inc()
 		time.Sleep(delay)
 	}
 	return f.Conn.Read(b)

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/devmem"
 	"repro/internal/kpl"
+	"repro/internal/metrics"
 )
 
 // Request and response bodies. Kernel launches travel by registry name: the
@@ -171,7 +172,13 @@ type Server struct {
 	conns        map[net.Conn]struct{}
 	vpConns      map[int]int // open connections per VP (reconnects overlap)
 	serving      sync.WaitGroup
+
+	metrics *metrics.Registry
 }
+
+// SetMetrics attaches a registry recording server-side transport counters
+// (connections, requests served, decode errors). Call before traffic starts.
+func (s *Server) SetMetrics(m *metrics.Registry) { s.metrics = m }
 
 // Serve starts accepting connections; it returns immediately.
 func Serve(l net.Listener, h Handler) *Server {
@@ -254,6 +261,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	if err := dec.Decode(&hi); err != nil {
 		return
 	}
+	s.metrics.Counter("ipc.server.connections").Inc()
 
 	// In-flight handlers for this connection. The teardown order matters:
 	// vpClosed runs first (deferred last) so the disconnect hook can cancel
@@ -274,8 +282,10 @@ func (s *Server) serveConn(conn net.Conn) {
 			// would feed the peer garbage (or be misread as the reply to an
 			// unrelated call), so close the connection instead. The client
 			// treats it as a disconnect and redials.
+			s.metrics.Counter("ipc.server.decode_errors").Inc()
 			return
 		}
+		s.metrics.Counter("ipc.server.requests").Inc()
 		handlers.Add(1)
 		go func(fr reqFrame) {
 			defer handlers.Done()
@@ -315,6 +325,9 @@ type DialOptions struct {
 	// Faults, when non-nil and enabled, wraps every connection in the
 	// deterministic fault injector.
 	Faults *FaultConfig
+	// Metrics, when non-nil, records client-side transport counters
+	// (calls, errors, timeouts, reconnects, injected faults).
+	Metrics *metrics.Registry
 }
 
 // Client timeout/backoff defaults.
@@ -393,7 +406,7 @@ func (c *tcpClient) connect(deadline time.Time) error {
 		fc.Seed += c.connSeq
 		c.connSeq++
 		c.connMu.Unlock()
-		conn = WrapFaulty(conn, fc)
+		conn = WrapFaultyMetrics(conn, fc, c.opts.Metrics)
 	}
 	conn.SetDeadline(deadline)
 	enc := gob.NewEncoder(conn)
@@ -415,6 +428,7 @@ func (c *tcpClient) connect(deadline time.Time) error {
 
 // reconnect redials with capped exponential backoff until the deadline.
 func (c *tcpClient) reconnect(deadline time.Time) error {
+	c.opts.Metrics.Counter("ipc.client.reconnects").Inc()
 	for {
 		err := c.connect(deadline)
 		if err == nil || err == ErrClientClosed {
@@ -452,9 +466,19 @@ func (c *tcpClient) dropConn() {
 // the connection (the stream may be desynchronized). Responses are matched
 // to requests by ID: a stray frame left over from an earlier, abandoned
 // request is discarded, never delivered as this call's reply.
-func (c *tcpClient) Call(req any) (any, error) {
+func (c *tcpClient) Call(req any) (resp any, err error) {
 	c.callMu.Lock()
 	defer c.callMu.Unlock()
+
+	c.opts.Metrics.Counter("ipc.client.calls").Inc()
+	defer func() {
+		if err != nil && err != ErrClientClosed {
+			c.opts.Metrics.Counter("ipc.client.errors").Inc()
+			if _, ok := err.(*TimeoutError); ok {
+				c.opts.Metrics.Counter("ipc.client.timeouts").Inc()
+			}
+		}
+	}()
 
 	deadline := time.Now().Add(c.opts.CallTimeout)
 

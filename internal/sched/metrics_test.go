@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestQueueMetrics(t *testing.T) {
+	q := NewQueue()
+	q.Metrics = metrics.New()
+	jobs := []*Job{
+		newJob(0, 0, "h2d", "a"),
+		newJob(1, 1, "compute", "b"),
+		newJob(1, 1, "d2h", "c"),
+	}
+	for _, j := range jobs {
+		q.Push(j)
+	}
+	if got := q.Metrics.Gauge("sched.queue_depth").Value(); got != 3 {
+		t.Fatalf("queue_depth after pushes = %d, want 3", got)
+	}
+	if got := q.Metrics.Counter("sched.jobs_pushed").Value(); got != 3 {
+		t.Fatalf("jobs_pushed = %d, want 3", got)
+	}
+	removed := q.RemoveVP(1)
+	if len(removed) != 2 {
+		t.Fatalf("RemoveVP removed %d, want 2", len(removed))
+	}
+	if got := q.Metrics.Gauge("sched.queue_depth").Value(); got != 1 {
+		t.Fatalf("queue_depth after RemoveVP = %d, want 1", got)
+	}
+	q.DrainBatch()
+	if got := q.Metrics.Gauge("sched.queue_depth").Value(); got != 0 {
+		t.Fatalf("queue_depth after drain = %d, want 0", got)
+	}
+	if got := q.Metrics.Counter("sched.batches_drained").Value(); got != 1 {
+		t.Fatalf("batches_drained = %d, want 1", got)
+	}
+}
+
+func TestPlanRecordedReorderDistance(t *testing.T) {
+	// Two single-job chains on different engines: under PolicyInterleave with
+	// alternating engines, arrival order [copyA, copyB, kernelA, kernelB]
+	// reorders so copies and kernels alternate — nonzero reorder distance.
+	a1 := newJob(0, 0, "h2d", "copyA")
+	a2 := newJob(0, 0, "compute", "kernelA")
+	b1 := newJob(1, 1, "h2d", "copyB")
+	b2 := newJob(1, 1, "compute", "kernelB")
+	batch := []*Job{a1, b1, a2, b2}
+
+	m := metrics.New()
+	order := PlanRecorded(batch, PolicyInterleave, m)
+	if len(order) != 4 {
+		t.Fatalf("planned %d jobs, want 4", len(order))
+	}
+	// Same plan as the unrecorded path.
+	plain := Plan([]*Job{a1, b1, a2, b2}, PolicyInterleave)
+	for i := range order {
+		if order[i] != plain[i] {
+			t.Fatalf("PlanRecorded diverges from Plan at %d", i)
+		}
+	}
+	if got := m.Counter("sched.batches_planned").Value(); got != 1 {
+		t.Fatalf("batches_planned = %d, want 1", got)
+	}
+	var snap metrics.HistogramSnap
+	for _, h := range m.Snapshot().Histograms {
+		if h.Name == "sched.reorder_distance" {
+			snap = h
+		}
+	}
+	if snap.Count != 4 {
+		t.Fatalf("reorder_distance observations = %d, want 4", snap.Count)
+	}
+	if snap.Sum <= 0 {
+		t.Fatalf("reorder_distance sum = %v, want > 0 (interleaving moved jobs)", snap.Sum)
+	}
+
+	// Nil registry degenerates to Plan.
+	if got := PlanRecorded([]*Job{a1}, PolicyFIFO, nil); len(got) != 1 {
+		t.Fatalf("nil-registry PlanRecorded = %v", got)
+	}
+}

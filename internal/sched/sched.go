@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/devmem"
 	"repro/internal/hostgpu"
+	"repro/internal/metrics"
 	"repro/internal/profile"
 )
 
@@ -67,6 +68,11 @@ type Job struct {
 	Interval hostgpu.Interval
 	Profile  *profile.Profile
 	Err      error
+
+	// SubmitTime is the simulated time at which the job entered the service
+	// queue; the dispatcher's latency accounting subtracts it from the job's
+	// execution start.
+	SubmitTime float64
 
 	seq  int
 	done chan struct{}
@@ -160,6 +166,9 @@ type Queue struct {
 	mu      sync.Mutex
 	pending []*Job
 	nextSeq int
+
+	// Metrics optionally tracks queue depth and push counts; nil is a no-op.
+	Metrics *metrics.Registry
 }
 
 // NewQueue returns an empty queue.
@@ -172,14 +181,21 @@ func (q *Queue) Push(j *Job) {
 	q.nextSeq++
 	q.pending = append(q.pending, j)
 	q.mu.Unlock()
+	q.Metrics.Counter("sched.jobs_pushed").Inc()
+	q.Metrics.Gauge("sched.queue_depth").Add(1)
 }
 
 // DrainBatch removes and returns all pending jobs in arrival order.
 func (q *Queue) DrainBatch() []*Job {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	out := q.pending
 	q.pending = nil
+	q.mu.Unlock()
+	if len(out) > 0 {
+		q.Metrics.Gauge("sched.queue_depth").Sub(int64(len(out)))
+		q.Metrics.Counter("sched.batches_drained").Inc()
+		q.Metrics.Histogram("sched.batch_size", metrics.CountBuckets).Observe(float64(len(out)))
+	}
 	return out
 }
 
@@ -194,7 +210,6 @@ func (q *Queue) Len() int {
 // (disconnect cleanup); the remaining jobs keep their arrival order.
 func (q *Queue) RemoveVP(vp int) []*Job {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	var removed []*Job
 	kept := q.pending[:0]
 	for _, j := range q.pending {
@@ -205,6 +220,10 @@ func (q *Queue) RemoveVP(vp int) []*Job {
 		}
 	}
 	q.pending = kept
+	q.mu.Unlock()
+	if len(removed) > 0 {
+		q.Metrics.Gauge("sched.queue_depth").Sub(int64(len(removed)))
+	}
 	return removed
 }
 
@@ -237,6 +256,35 @@ func Plan(batch []*Job, policy Policy) []*Job {
 	}
 
 	return planInterleave(batch)
+}
+
+// PlanRecorded is Plan plus Re-scheduler observability: it records, into m,
+// the batch count and each job's reorder distance — how far the planner moved
+// the job from its arrival position, the per-batch footprint of Kernel
+// Interleaving. A nil registry degenerates to Plan.
+func PlanRecorded(batch []*Job, policy Policy, m *metrics.Registry) []*Job {
+	order := Plan(batch, policy)
+	if m == nil || len(batch) == 0 {
+		return order
+	}
+	m.Counter("sched.batches_planned").Inc()
+	arrival := make(map[*Job]int, len(batch))
+	for i, j := range batch {
+		arrival[j] = i
+	}
+	h := m.Histogram("sched.reorder_distance", metrics.CountBuckets)
+	for i, j := range order {
+		ai, ok := arrival[j]
+		if !ok {
+			continue // job injected after arrival (merged coalesce jobs)
+		}
+		d := i - ai
+		if d < 0 {
+			d = -d
+		}
+		h.Observe(float64(d))
+	}
+	return order
 }
 
 // planFIFO keeps arrival order except for the minimal moves needed to honour

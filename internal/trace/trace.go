@@ -40,16 +40,30 @@ func (l *Log) Add(r Record) {
 	l.recs = append(l.recs, r)
 }
 
-// Records returns a copy of the records sorted by start time.
+// Records returns a copy of the records sorted by (Start, Engine, Stream,
+// Label, End). The sort is stable over the full key: records that tie on
+// start time and engine — common for coalesced and zero-duration ops — land
+// in a deterministic order regardless of insertion interleaving, so Gantt and
+// CSV renderings are reproducible.
 func (l *Log) Records() []Record {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	out := append([]Record(nil), l.recs...)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Start != out[j].Start {
-			return out[i].Start < out[j].Start
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
 		}
-		return out[i].Engine < out[j].Engine
+		if a.Engine != b.Engine {
+			return a.Engine < b.Engine
+		}
+		if a.Stream != b.Stream {
+			return a.Stream < b.Stream
+		}
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		return a.End < b.End
 	})
 	return out
 }
@@ -76,7 +90,10 @@ func (l *Log) Span() (float64, float64) {
 }
 
 // Utilization returns, per engine, the fraction of the overall span the
-// engine was busy.
+// engine was busy. Overlapping records on one engine — concurrent kernels
+// sharing the compute engine's CKE slots — are merged into disjoint busy
+// intervals before dividing by the span, so utilization never exceeds 1.0
+// (summing raw durations double-counted overlap).
 func (l *Log) Utilization() map[string]float64 {
 	start, end := l.Span()
 	span := end - start
@@ -84,8 +101,23 @@ func (l *Log) Utilization() map[string]float64 {
 	if span <= 0 {
 		return out
 	}
-	for _, r := range l.Records() {
-		out[r.Engine] += r.Duration() / span
+	perEngine := map[string][]Record{}
+	for _, r := range l.Records() { // sorted by Start
+		perEngine[r.Engine] = append(perEngine[r.Engine], r)
+	}
+	for eng, recs := range perEngine {
+		busy := 0.0
+		curStart, curEnd := recs[0].Start, recs[0].End
+		for _, r := range recs[1:] {
+			if r.Start > curEnd {
+				busy += curEnd - curStart
+				curStart, curEnd = r.Start, r.End
+			} else if r.End > curEnd {
+				curEnd = r.End
+			}
+		}
+		busy += curEnd - curStart
+		out[eng] = busy / span
 	}
 	return out
 }
@@ -123,6 +155,11 @@ func (l *Log) Gantt(width int) string {
 		}
 		for _, r := range engines[name] {
 			lo := int(float64(width) * (r.Start - start) / span)
+			if lo >= width {
+				// A zero-duration record at the exact span end still gets one
+				// visible cell (the last one) instead of vanishing.
+				lo = width - 1
+			}
 			hi := int(float64(width) * (r.End - start) / span)
 			if hi <= lo {
 				hi = lo + 1
