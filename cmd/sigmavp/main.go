@@ -29,6 +29,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/experiments"
+	"repro/internal/ipc"
 )
 
 func main() {
@@ -37,11 +38,12 @@ func main() {
 	workers := flag.Int("workers", 0, "experiment-harness worker pool size (0 = NumCPU, 1 = serial)")
 	faults := flag.String("faults", "seed=1,drop=0.05,delay=0.2,maxdelay=5ms,corrupt=0.02,disconnect=0.02",
 		"fault-injection spec for the faults drill (key=value pairs; see internal/ipc.ParseFaults)")
+	codecName := flag.String("codec", "binary", "wire codec for the faults drill: binary or gob")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	metricsFile := flag.String("metrics", "", "write the harness metrics snapshot (JSON) to this file on exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sigmavp [-scale N] [-workers N] [-faults SPEC] [-metrics FILE] [-cpuprofile FILE] [-memprofile FILE] table1|fig3|fig9a|fig9b|fig10a|fig10b|fig11|fig12|fig13|sweep|scaling|faults|all\n")
+		fmt.Fprintf(os.Stderr, "usage: sigmavp [-scale N] [-workers N] [-faults SPEC] [-codec binary|gob] [-metrics FILE] [-cpuprofile FILE] [-memprofile FILE] table1|fig3|fig9a|fig9b|fig10a|fig10b|fig11|fig12|fig13|sweep|scaling|faults|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -63,7 +65,13 @@ func main() {
 		"fig13":   func() (fmt.Stringer, error) { return experiments.Fig13(*scale) },
 		"sweep":   func() (fmt.Stringer, error) { return experiments.EstimationSweep(*scale) },
 		"scaling": func() (fmt.Stringer, error) { return experiments.Scaling(*app, *scale) },
-		"faults":  func() (fmt.Stringer, error) { return experiments.FaultDrill(*faults, 4, 4) },
+		"faults": func() (fmt.Stringer, error) {
+			codec, err := ipc.ParseCodec(*codecName)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.FaultDrillCodec(*faults, 4, 4, codec)
+		},
 	}
 	// "faults" is deliberately absent: it is a robustness drill, not a paper
 	// artifact, and must not perturb `sigmavp all` regeneration output.

@@ -23,6 +23,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/core"
@@ -35,6 +37,8 @@ func main() {
 	httpAddr := flag.String("http", "", "serve /metrics and /trace on this address (empty = disabled)")
 	archName := flag.String("arch", "quadro", "host GPU: quadro or k520")
 	baseline := flag.Bool("baseline", false, "disable the optimizations (serialized dispatch)")
+	grace := flag.Duration("grace", 5*time.Second, "shutdown grace period for in-flight requests")
+	metricsOut := flag.String("metrics-out", "", "write a final metrics snapshot (JSON) to this file on shutdown")
 	flag.Parse()
 
 	opts := core.DefaultOptions()
@@ -83,13 +87,37 @@ func main() {
 	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("sigmavpd: %v: draining (grace %v)\n", s, *grace)
+	if err := shutdown(srv, obs, svc, *grace, *metricsOut); err != nil {
+		fmt.Fprintln(os.Stderr, "sigmavpd: shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("sigmavpd: shut down; simulated device time %.3f ms\n", svc.Sync()*1e3)
+}
+
+// shutdown drains the daemon: the listener closes immediately (no new VPs),
+// in-flight requests get up to grace to finish, and only then — once every
+// serve loop has exited and its final counters are recorded — is the metrics
+// snapshot flushed. Before this sequence existed the daemon died mid-frame
+// on SIGINT, which clients observed as a decode error instead of a clean
+// disconnect.
+func shutdown(srv *ipc.Server, obs *http.Server, svc *core.Service, grace time.Duration, metricsOut string) error {
 	if obs != nil {
 		obs.Close()
 	}
-	srv.Close()
-	fmt.Printf("sigmavpd: shut down; simulated device time %.3f ms\n", svc.Sync()*1e3)
+	if err := srv.Shutdown(grace); err != nil {
+		return err
+	}
+	if metricsOut == "" {
+		return nil
+	}
+	data, err := svc.Metrics().Snapshot().JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(metricsOut, append(data, '\n'), 0o644)
 }
 
 // traceView is the /trace response shape.

@@ -2,13 +2,69 @@ package main
 
 import (
 	"encoding/json"
+	"net"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ipc"
 	"repro/internal/metrics"
 )
+
+// TestGracefulShutdown drives a real TCP round-trip, then shuts the daemon
+// down and checks the final metrics snapshot lands on disk and reflects the
+// drained traffic.
+func TestGracefulShutdown(t *testing.T) {
+	svc := core.NewService(core.DefaultOptions())
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ipc.ServeWithHooks(l, svc.Handle, svc.RegisterVP, svc.DisconnectVP)
+	srv.SetMetrics(svc.Metrics())
+
+	c, err := ipc.Dial(srv.Addr().String(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Call(ipc.MallocReq{Size: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptr := resp.(ipc.MallocResp).Ptr
+	if _, err := c.Call(ipc.H2DReq{Dst: ptr, Data: []byte{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	out := filepath.Join(t.TempDir(), "metrics.json")
+	if err := shutdown(srv, nil, svc, 2*time.Second, out); err != nil {
+		t.Fatal(err)
+	}
+
+	// The listener is gone: a fresh dial must fail.
+	if _, err := ipc.Dial(srv.Addr().String(), 2); err == nil {
+		t.Fatal("dial after shutdown should fail")
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("final snapshot not JSON: %v", err)
+	}
+	if snap.CounterValue("core.jobs_submitted") == 0 {
+		t.Fatal("final snapshot shows no submitted jobs")
+	}
+	if snap.CounterValue("ipc.server.requests") == 0 {
+		t.Fatal("final snapshot shows no served requests")
+	}
+}
 
 // TestObservabilityEndpoints drives a service through the pipe transport and
 // checks /metrics and /trace return well-formed JSON reflecting the traffic.

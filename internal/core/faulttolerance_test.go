@@ -66,9 +66,10 @@ func TestDisconnectCancelsOrphanedJobs(t *testing.T) {
 	// Wait until VP 1 is stopped at its synchronous point, so the
 	// disconnect really happens mid-batch.
 	waitUntil(t, func() bool {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return s.blocked[1]
+		st := s.shard(1)
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return st.blocked > 0
 	})
 
 	s.DisconnectVP(0)
@@ -117,9 +118,9 @@ func TestTCPDisconnectMidBatch(t *testing.T) {
 	// Both VPs registered before any work, so VP 1's call really blocks on
 	// VP 2 being unstopped.
 	waitUntil(t, func() bool {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return s.active[1] && s.active[2]
+		s.regMu.RLock()
+		defer s.regMu.RUnlock()
+		return len(s.order) == 2
 	})
 
 	p1resp, err := c1.Call(ipc.MallocReq{Size: 64})
@@ -134,9 +135,10 @@ func TestTCPDisconnectMidBatch(t *testing.T) {
 		callErr <- err
 	}()
 	waitUntil(t, func() bool {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return s.blocked[1]
+		st := s.shard(1)
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return st.blocked > 0
 	})
 
 	// VP 1's platform dies mid-batch.

@@ -8,6 +8,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/arch"
@@ -78,15 +79,46 @@ type Service struct {
 	metrics *metrics.Registry
 	queue   *sched.Queue
 
-	mu      sync.Mutex
-	active  map[int]bool // registered VPs
-	blocked map[int]bool // VPs stopped at a synchronous point
+	// VP state is sharded: each VP's stop/run bookkeeping lives in its own
+	// vpState with its own lock, so with pipelined IPC clients the handlers
+	// of independent VPs never contend. regMu guards only the registry shape
+	// (the shard map and the sorted id list) and is write-locked only on
+	// register/unregister — the hot path (WaitJob, allStopped) takes it
+	// shared.
+	regMu sync.RWMutex
+	vps   map[int]*vpState // every VP seen; shards survive reconnects
+	order []int            // sorted ids of registered VPs (snapshot order)
 
 	// dispatchMu serializes batch drain + dispatch. Without it, two
 	// goroutines can both observe the all-stopped predicate, drain separate
 	// batches, and interleave their jobs' Run calls, breaking per-(VP,stream)
 	// ordering on the device.
 	dispatchMu sync.Mutex
+}
+
+// vpState is one VP's shard of the VP-control state.
+type vpState struct {
+	mu      sync.Mutex
+	blocked int // handlers parked in WaitJob; > 0 means stopped (Fig. 4b)
+}
+
+// shard returns the VP's state shard, creating it on first contact. A VP
+// that was never registered (in-process harnesses call WaitJob directly)
+// still gets a shard: its blocked count simply never gates dispatch.
+func (s *Service) shard(vp int) *vpState {
+	s.regMu.RLock()
+	st := s.vps[vp]
+	s.regMu.RUnlock()
+	if st != nil {
+		return st
+	}
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	if st = s.vps[vp]; st == nil {
+		st = &vpState{}
+		s.vps[vp] = st
+	}
+	return st
 }
 
 // NewService builds a service over a fresh simulated host GPU.
@@ -118,8 +150,7 @@ func NewService(opts Options) *Service {
 		opts:    opts,
 		metrics: reg,
 		queue:   q,
-		active:  map[int]bool{},
-		blocked: map[int]bool{},
+		vps:     map[int]*vpState{},
 	}
 	if opts.EstimateTarget != nil {
 		s.Estimator = NewEstimation(*opts.EstimateTarget)
@@ -137,18 +168,37 @@ func (s *Service) Metrics() *metrics.Registry { return s.metrics }
 
 // RegisterVP announces a VP to the batching logic.
 func (s *Service) RegisterVP(id int) {
-	s.mu.Lock()
-	s.active[id] = true
-	s.mu.Unlock()
+	s.regMu.Lock()
+	if s.vps[id] == nil {
+		s.vps[id] = &vpState{}
+	}
+	i := sort.SearchInts(s.order, id)
+	if i == len(s.order) || s.order[i] != id {
+		s.order = append(s.order, 0)
+		copy(s.order[i+1:], s.order[i:])
+		s.order[i] = id
+	}
+	s.metrics.Gauge("core.vps_active").Set(int64(len(s.order)))
+	s.regMu.Unlock()
+}
+
+// deregister drops the VP from the registered set. Its shard stays: parked
+// WaitJob handlers still decrement their blocked count through it, and a
+// reconnect reuses it.
+func (s *Service) deregister(id int) {
+	s.regMu.Lock()
+	i := sort.SearchInts(s.order, id)
+	if i < len(s.order) && s.order[i] == id {
+		s.order = append(s.order[:i], s.order[i+1:]...)
+	}
+	s.metrics.Gauge("core.vps_active").Set(int64(len(s.order)))
+	s.regMu.Unlock()
 }
 
 // UnregisterVP removes a VP at a clean point (its application finished and
 // synced); pending work may dispatch as a result.
 func (s *Service) UnregisterVP(id int) {
-	s.mu.Lock()
-	delete(s.active, id)
-	delete(s.blocked, id)
-	s.mu.Unlock()
+	s.deregister(id)
 	s.maybeDispatch()
 }
 
@@ -164,10 +214,7 @@ var ErrCancelled = errors.New("job cancelled: vp disconnected")
 // them — and then lets the surviving VPs' pending work dispatch. Use it as
 // the ipc server's disconnect hook.
 func (s *Service) DisconnectVP(id int) {
-	s.mu.Lock()
-	delete(s.active, id)
-	delete(s.blocked, id)
-	s.mu.Unlock()
+	s.deregister(id)
 	for _, j := range s.queue.RemoveVP(id) {
 		if !j.Done() {
 			j.Finish(fmt.Errorf("core: vp %d: %w", id, ErrCancelled))
@@ -199,17 +246,38 @@ func (s *Service) Submit(j *sched.Job) {
 // WaitJob blocks the calling VP until the job completes. While blocked, the
 // VP counts as *stopped* — exactly the VP Control mechanism: once every
 // active VP is stopped at a synchronous point, the accumulated batch is
-// re-scheduled and dispatched (paper Fig. 4b).
+// re-scheduled and dispatched (paper Fig. 4b). blocked is a counter, not a
+// flag: a pipelined client can park several handlers of one VP in WaitJob
+// at once, and the VP stays stopped until the last of them wakes.
 func (s *Service) WaitJob(vp int, j *sched.Job) error {
-	s.mu.Lock()
-	s.blocked[vp] = true
-	s.mu.Unlock()
+	st := s.shard(vp)
+	st.mu.Lock()
+	st.blocked++
+	st.mu.Unlock()
 	s.maybeDispatch()
 	err := j.Wait()
-	s.mu.Lock()
-	delete(s.blocked, vp)
-	s.mu.Unlock()
+	st.mu.Lock()
+	st.blocked--
+	st.mu.Unlock()
 	return err
+}
+
+// allStopped reports whether every registered VP is parked at a synchronous
+// point. The snapshot walks the sorted id list under the shared registry
+// lock, taking each shard's lock in that deterministic order.
+func (s *Service) allStopped() bool {
+	s.regMu.RLock()
+	defer s.regMu.RUnlock()
+	for _, id := range s.order {
+		st := s.vps[id]
+		st.mu.Lock()
+		stopped := st.blocked > 0
+		st.mu.Unlock()
+		if !stopped {
+			return false
+		}
+	}
+	return true
 }
 
 // maybeDispatch drains and dispatches the queue when every active VP is
@@ -220,20 +288,10 @@ func (s *Service) maybeDispatch() {
 	s.dispatchMu.Lock()
 	defer s.dispatchMu.Unlock()
 	for {
-		s.mu.Lock()
-		allStopped := true
-		for id := range s.active {
-			if !s.blocked[id] {
-				allStopped = false
-				break
-			}
-		}
-		if !allStopped || s.queue.Len() == 0 {
-			s.mu.Unlock()
+		if !s.allStopped() || s.queue.Len() == 0 {
 			return
 		}
 		batch := s.queue.DrainBatch()
-		s.mu.Unlock()
 		s.dispatch(batch)
 	}
 }

@@ -263,6 +263,10 @@ func (e *emulBackend) Close() error { return nil }
 
 type remoteBackend struct {
 	c ipc.Client
+	// tc is the client's typed fast path (the binary codec), if it has one:
+	// per-message-type calls with no `any` boxing on request or response.
+	// nil for transports that only implement Call.
+	tc ipc.TypedCaller
 	// retries is the extra-attempt budget for idempotent requests that fail
 	// with a retryable transport error (timeout, disconnect).
 	retries int
@@ -281,20 +285,26 @@ const DefaultRetries = 2
 // frees are never replayed — a duplicated launch would re-run kernel side
 // effects, a duplicated malloc would leak.
 func NewRemoteBackend(c ipc.Client) Backend {
-	return &remoteBackend{c: c, retries: DefaultRetries}
+	return newRemote(c, DefaultRetries, nil)
 }
 
 // NewRemoteBackendRetries overrides the idempotent-retry budget (0 disables
 // retries).
 func NewRemoteBackendRetries(c ipc.Client, retries int) Backend {
-	return &remoteBackend{c: c, retries: retries}
+	return newRemote(c, retries, nil)
 }
 
 // NewRemoteBackendMetrics is NewRemoteBackendRetries with a registry counting
 // idempotent replays (cudart.retries) and retry exhaustion
 // (cudart.retries_exhausted).
 func NewRemoteBackendMetrics(c ipc.Client, retries int, m *metrics.Registry) Backend {
-	return &remoteBackend{c: c, retries: retries, m: m}
+	return newRemote(c, retries, m)
+}
+
+func newRemote(c ipc.Client, retries int, m *metrics.Registry) Backend {
+	r := &remoteBackend{c: c, retries: retries, m: m}
+	r.tc, _ = c.(ipc.TypedCaller)
+	return r
 }
 
 // callIdempotent issues a request, re-issuing it on retryable transport
@@ -326,8 +336,30 @@ func (r *remoteBackend) Free(p devmem.Ptr) error {
 	return err
 }
 
+// retryIdempotent re-issues a typed idempotent request on retryable
+// transport errors, mirroring callIdempotent without the boxing.
+func retryIdempotent[Req, Resp any](r *remoteBackend, req Req, call func(Req) (Resp, error)) (Resp, error) {
+	resp, err := call(req)
+	for attempt := 0; attempt < r.retries && ipc.IsRetryable(err); attempt++ {
+		r.m.Counter("cudart.retries").Inc()
+		resp, err = call(req)
+	}
+	if ipc.IsRetryable(err) {
+		r.m.Counter("cudart.retries_exhausted").Inc()
+	}
+	return resp, err
+}
+
 func (r *remoteBackend) H2D(stream int, dst devmem.Ptr, off int, data []byte) (Token, error) {
-	resp, err := r.callIdempotent(ipc.H2DReq{Stream: stream, Dst: dst, Off: off, Data: data})
+	req := ipc.H2DReq{Stream: stream, Dst: dst, Off: off, Data: data}
+	if r.tc != nil {
+		ok, err := retryIdempotent(r, req, r.tc.CallH2D)
+		if err != nil {
+			return doneToken{err: err}, nil
+		}
+		return doneToken{iv: hostgpu.Interval{End: ok.End}}, nil
+	}
+	resp, err := r.callIdempotent(req)
 	if err != nil {
 		return doneToken{err: err}, nil
 	}
@@ -336,7 +368,15 @@ func (r *remoteBackend) H2D(stream int, dst devmem.Ptr, off int, data []byte) (T
 }
 
 func (r *remoteBackend) D2H(stream int, src devmem.Ptr, off, n int) (Token, error) {
-	resp, err := r.callIdempotent(ipc.D2HReq{Stream: stream, Src: src, Off: off, N: n})
+	req := ipc.D2HReq{Stream: stream, Src: src, Off: off, N: n}
+	if r.tc != nil {
+		d, err := retryIdempotent(r, req, r.tc.CallD2H)
+		if err != nil {
+			return doneToken{err: err}, nil
+		}
+		return doneToken{iv: hostgpu.Interval{End: d.End}, data: d.Data}, nil
+	}
+	resp, err := r.callIdempotent(req)
 	if err != nil {
 		return doneToken{err: err}, nil
 	}
@@ -345,7 +385,15 @@ func (r *remoteBackend) D2H(stream int, src devmem.Ptr, off, n int) (Token, erro
 }
 
 func (r *remoteBackend) Memset(stream int, dst devmem.Ptr, off, n int, value byte) (Token, error) {
-	resp, err := r.callIdempotent(ipc.MemsetReq{Stream: stream, Dst: dst, Off: off, N: n, Value: value})
+	req := ipc.MemsetReq{Stream: stream, Dst: dst, Off: off, N: n, Value: value}
+	if r.tc != nil {
+		ok, err := retryIdempotent(r, req, r.tc.CallMemset)
+		if err != nil {
+			return doneToken{err: err}, nil
+		}
+		return doneToken{iv: hostgpu.Interval{End: ok.End}}, nil
+	}
+	resp, err := r.callIdempotent(req)
 	if err != nil {
 		return doneToken{err: err}, nil
 	}
@@ -357,7 +405,7 @@ func (r *remoteBackend) Launch(stream int, l *hostgpu.Launch) (Token, error) {
 	if l.Kernel == nil {
 		return nil, fmt.Errorf("cudart: launch without kernel")
 	}
-	resp, err := r.c.Call(ipc.LaunchReq{
+	req := ipc.LaunchReq{
 		Stream:    stream,
 		Kernel:    l.Kernel.Name,
 		Grid:      l.Grid,
@@ -366,7 +414,17 @@ func (r *remoteBackend) Launch(stream int, l *hostgpu.Launch) (Token, error) {
 		Regs:      l.RegsPerThread,
 		Params:    l.Params,
 		Bindings:  l.Bindings,
-	})
+	}
+	// Launches are never replayed (re-running a kernel repeats its side
+	// effects), so the typed path is a single attempt, like Call.
+	if r.tc != nil {
+		ok, err := r.tc.CallLaunch(req)
+		if err != nil {
+			return doneToken{err: err}, nil
+		}
+		return doneToken{iv: hostgpu.Interval{End: ok.End}}, nil
+	}
+	resp, err := r.c.Call(req)
 	if err != nil {
 		return doneToken{err: err}, nil
 	}

@@ -1,0 +1,537 @@
+package ipc
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/devmem"
+	"repro/internal/metrics"
+)
+
+// binClient is the binary-codec TCP client with request pipelining: any
+// number of goroutines may Call concurrently on one connection. Each call
+// writes its frame under writeMu and parks on a pooled pending-call slot;
+// a single reader goroutine demultiplexes responses by request ID. Per-call
+// deadlines, lazy redial with capped backoff, and typed transport errors
+// match the gob client's semantics, with one improvement the self-
+// delimiting framing allows: a call that times out abandons only its own
+// pending slot — the connection (and every other in-flight call) survives,
+// and the late response is discarded as stale when it finally arrives.
+type binClient struct {
+	addr string
+	vp   int
+	opts DialOptions
+
+	writeMu sync.Mutex // serializes frame writes; guards wbuf
+	wbuf    []byte     // reusable encode buffer
+
+	mu      sync.Mutex // connection + pending-call state
+	conn    net.Conn
+	gen     int // connection generation; stale teardown requests are ignored
+	connSeq int64
+	closed  bool
+	backoff time.Duration
+	nextID  uint64
+	pending map[uint64]*pendingCall
+
+	// recvSeq counts frames delivered by the read loop — the connection
+	// liveness signal consulted on timeout (see await).
+	recvSeq atomic.Uint64
+}
+
+// pendingCall is one in-flight request's parking slot. Slots are pooled:
+// the channel and timer are reused across calls, so a steady-state call
+// allocates nothing for its bookkeeping.
+type pendingCall struct {
+	ch    chan struct{} // buffered(1); exactly one signal per flight
+	timer *time.Timer
+
+	// Decoded response (exactly one is meaningful, selected by kind).
+	kind   byte
+	ok     OKResp
+	d2h    D2HResp
+	malloc MallocResp
+	errMsg string
+	err    error // transport-level failure, nil on delivery
+}
+
+var pendingPool = sync.Pool{New: func() any {
+	t := time.NewTimer(time.Hour)
+	if !t.Stop() {
+		<-t.C
+	}
+	return &pendingCall{ch: make(chan struct{}, 1), timer: t}
+}}
+
+func getPending() *pendingCall {
+	p := pendingPool.Get().(*pendingCall)
+	p.kind, p.ok, p.d2h, p.malloc, p.errMsg, p.err = 0, OKResp{}, D2HResp{}, MallocResp{}, "", nil
+	return p
+}
+
+// putPending returns a resolved slot to the pool, draining a concurrently
+// fired (but unconsumed) timer so the next flight starts clean.
+func putPending(p *pendingCall) {
+	if !p.timer.Stop() {
+		select {
+		case <-p.timer.C:
+		default:
+		}
+	}
+	pendingPool.Put(p)
+}
+
+// dialBinary connects with the binary codec and sends the hello.
+func dialBinary(addr string, vp int, opts DialOptions) (Client, error) {
+	c := &binClient{addr: addr, vp: vp, opts: opts, pending: map[uint64]*pendingCall{}}
+	c.backoff = opts.BackoffBase
+	if err := c.connect(time.Now().Add(opts.CallTimeout)); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// connect establishes one connection, writes the binary hello, and starts
+// the reader. The caller must not hold mu.
+func (c *binClient) connect(deadline time.Time) error {
+	remaining := time.Until(deadline)
+	if remaining <= 0 {
+		return &TimeoutError{Op: "connect", After: c.opts.CallTimeout}
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, remaining)
+	if err != nil {
+		return transportErr("connect", err, c.opts.CallTimeout)
+	}
+	if c.opts.Faults != nil {
+		fc := *c.opts.Faults
+		c.mu.Lock()
+		fc.Seed += c.connSeq
+		c.connSeq++
+		c.mu.Unlock()
+		conn = WrapFaultyMetrics(conn, fc, c.opts.Metrics)
+	}
+	conn.SetWriteDeadline(deadline)
+	if _, err := conn.Write(appendHello(make([]byte, 0, 16), c.vp)); err != nil {
+		conn.Close()
+		return transportErr("connect", err, c.opts.CallTimeout)
+	}
+	conn.SetWriteDeadline(time.Time{})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		conn.Close()
+		return ErrClientClosed
+	}
+	if c.conn != nil {
+		// A racing reconnect already produced a live connection; use it.
+		conn.Close()
+		return nil
+	}
+	c.conn = conn
+	c.gen++
+	c.backoff = c.opts.BackoffBase
+	c.opts.Metrics.Counter("ipc.client.conns_binary").Inc()
+	go c.readLoop(conn, c.gen)
+	return nil
+}
+
+// reconnect redials with capped exponential backoff until the deadline.
+func (c *binClient) reconnect(deadline time.Time) error {
+	c.opts.Metrics.Counter("ipc.client.reconnects").Inc()
+	for {
+		err := c.connect(deadline)
+		if err == nil || err == ErrClientClosed {
+			return err
+		}
+		c.mu.Lock()
+		sleep := c.backoff
+		c.backoff *= 2
+		if c.backoff > c.opts.BackoffCap {
+			c.backoff = c.opts.BackoffCap
+		}
+		c.mu.Unlock()
+		if time.Now().Add(sleep).After(deadline) {
+			return err
+		}
+		time.Sleep(sleep)
+	}
+}
+
+// failConn tears down one connection generation: the conn is closed and
+// every pending call fails with a typed, retryable transport error. Stale
+// generations (a newer connection is already live) are ignored.
+func (c *binClient) failConn(gen int, cause error) {
+	c.mu.Lock()
+	if gen != c.gen || c.conn == nil {
+		c.mu.Unlock()
+		return
+	}
+	c.conn.Close()
+	c.conn = nil
+	calls := c.pending
+	c.pending = map[uint64]*pendingCall{}
+	c.mu.Unlock()
+	err := transportErr("read", cause, c.opts.CallTimeout)
+	for _, p := range calls {
+		p.err = err
+		p.ch <- struct{}{}
+	}
+}
+
+// readLoop is the demultiplexer: it reads frames, matches them to pending
+// calls by request ID, and decodes the typed response directly into the
+// call's slot (no interface boxing on the hot path).
+func (c *binClient) readLoop(conn net.Conn, gen int) {
+	br := bufio.NewReaderSize(conn, 1<<16)
+	var hdr [4]byte
+	var buf []byte
+	for {
+		var err error
+		buf, err = readFrame(br, &hdr, buf)
+		if err != nil {
+			c.failConn(gen, err)
+			return
+		}
+		c.recvSeq.Add(1)
+		rd := wireReader{b: buf}
+		typ := rd.byte()
+		id := rd.uvarint()
+		if rd.err != nil {
+			c.failConn(gen, rd.err)
+			return
+		}
+		c.mu.Lock()
+		p := c.pending[id]
+		if p != nil {
+			delete(c.pending, id)
+		}
+		c.mu.Unlock()
+		if p == nil {
+			// Response to an abandoned (timed-out) request: the framing is
+			// intact, so unlike the gob stream we can safely skip it.
+			c.opts.Metrics.Counter("ipc.client.stale_responses").Inc()
+			continue
+		}
+		p.kind = typ
+		switch typ {
+		case msgOKResp:
+			p.ok = OKResp{End: rd.float64()}
+		case msgErrResp:
+			p.errMsg = rd.string()
+		case msgMallocResp:
+			p.malloc = MallocResp{Ptr: devmem.Ptr(rd.uvarint())}
+		case msgD2HResp:
+			view := rd.bytesView()
+			data := make([]byte, len(view))
+			copy(data, view)
+			p.d2h = D2HResp{Data: data, End: rd.float64()}
+		default:
+			rd.fail("unexpected response type %d", typ)
+		}
+		if derr := rd.done(); derr != nil {
+			// A malformed response means the stream can't be trusted: fail
+			// this call and the connection.
+			p.err = &DisconnectError{Op: "read", Cause: derr}
+			p.ch <- struct{}{}
+			c.failConn(gen, derr)
+			return
+		}
+		p.ch <- struct{}{}
+	}
+}
+
+// begin registers a new in-flight request, redialing first if the
+// connection is down. It returns the request ID, the parking slot, and the
+// connection (plus its generation) the frame must be written to.
+func (c *binClient) begin(deadline time.Time) (uint64, *pendingCall, net.Conn, int, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, nil, nil, 0, ErrClientClosed
+	}
+	if c.conn == nil {
+		c.mu.Unlock()
+		if err := c.reconnect(deadline); err != nil {
+			return 0, nil, nil, 0, err
+		}
+		c.mu.Lock()
+		if c.closed || c.conn == nil {
+			c.mu.Unlock()
+			return 0, nil, nil, 0, ErrClientClosed
+		}
+	}
+	c.nextID++
+	id := c.nextID
+	p := getPending()
+	c.pending[id] = p
+	if len(c.pending) > 1 {
+		c.opts.Metrics.Counter("ipc.client.pipelined_calls").Inc()
+	}
+	c.opts.Metrics.Histogram("ipc.client.inflight", metrics.DepthBuckets).
+		Observe(float64(len(c.pending)))
+	conn, gen := c.conn, c.gen
+	c.mu.Unlock()
+	return id, p, conn, gen, nil
+}
+
+// abandon resolves a call's slot after a local failure (timeout, write
+// error). If the reader or a teardown got to the slot first, the signal is
+// drained so the slot can be pooled.
+func (c *binClient) abandon(id uint64, p *pendingCall) {
+	c.mu.Lock()
+	_, mine := c.pending[id]
+	if mine {
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	if !mine {
+		<-p.ch
+	}
+	putPending(p)
+}
+
+// send writes the frame sitting in c.wbuf. Callers hold writeMu.
+func (c *binClient) sendLocked(conn net.Conn, gen int, deadline time.Time) error {
+	conn.SetWriteDeadline(deadline)
+	_, err := conn.Write(c.wbuf)
+	if err != nil {
+		c.failConn(gen, err)
+		return transportErr("write", err, c.opts.CallTimeout)
+	}
+	return nil
+}
+
+// await parks until the response is delivered or the deadline fires.
+// Timeout abandons only this call; other in-flight calls are untouched, and
+// the connection normally survives (the self-delimiting framing lets the
+// late response be discarded by ID). The exception is a connection with no
+// sign of life: if not a single frame arrived during the whole wait, the
+// peer is dead or wedged mid-frame (e.g. a corrupted length prefix made the
+// server swallow our requests as payload), so the connection is dropped and
+// the next call redials. Slot ownership: on a non-nil error the slot has
+// already been returned to the pool — the caller must not touch p again.
+// On nil the caller owns the slot (reads the response, then pools it).
+func (c *binClient) await(id uint64, p *pendingCall, gen int, deadline time.Time) error {
+	d := time.Until(deadline)
+	if d <= 0 {
+		c.abandon(id, p)
+		return &TimeoutError{Op: "read", After: c.opts.CallTimeout}
+	}
+	startSeq := c.recvSeq.Load()
+	p.timer.Reset(d)
+	select {
+	case <-p.ch:
+		if p.err != nil {
+			err := p.err
+			putPending(p)
+			return err
+		}
+		return nil
+	case <-p.timer.C:
+		c.abandon(id, p)
+		if c.recvSeq.Load() == startSeq {
+			c.failConn(gen, &TimeoutError{Op: "read", After: c.opts.CallTimeout})
+		}
+		return &TimeoutError{Op: "read", After: c.opts.CallTimeout}
+	}
+}
+
+// countErr mirrors the gob client's error accounting.
+func (c *binClient) countErr(err error) {
+	if err != nil && err != ErrClientClosed {
+		c.opts.Metrics.Counter("ipc.client.errors").Inc()
+		var te *TimeoutError
+		if errors.As(err, &te) {
+			c.opts.Metrics.Counter("ipc.client.timeouts").Inc()
+		}
+	}
+}
+
+// roundtrip runs one generic (boxed) exchange.
+func (c *binClient) roundtrip(req any) (*pendingCall, uint64, error) {
+	deadline := time.Now().Add(c.opts.CallTimeout)
+	id, p, conn, gen, err := c.begin(deadline)
+	if err != nil {
+		return nil, 0, err
+	}
+	c.writeMu.Lock()
+	c.wbuf, err = appendMsg(c.wbuf, id, req)
+	if err != nil {
+		c.writeMu.Unlock()
+		c.abandon(id, p)
+		return nil, 0, err
+	}
+	err = c.sendLocked(conn, gen, deadline)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.abandon(id, p)
+		return nil, 0, err
+	}
+	if err := c.await(id, p, gen, deadline); err != nil {
+		return nil, 0, err
+	}
+	return p, id, nil
+}
+
+// Call implements Client. The response body is boxed; latency-critical
+// paths use the typed methods below instead.
+func (c *binClient) Call(req any) (resp any, err error) {
+	c.opts.Metrics.Counter("ipc.client.calls").Inc()
+	defer func() { c.countErr(err) }()
+	p, _, err := c.roundtrip(req)
+	if err != nil {
+		return nil, err
+	}
+	defer putPending(p)
+	switch p.kind {
+	case msgOKResp:
+		return p.ok, nil
+	case msgErrResp:
+		return nil, fmt.Errorf("ipc: %s", p.errMsg)
+	case msgMallocResp:
+		return p.malloc, nil
+	case msgD2HResp:
+		return p.d2h, nil
+	}
+	return nil, wireError("unexpected response kind %d", p.kind)
+}
+
+// okOrErr maps a resolved slot onto the (OKResp, error) shape shared by
+// H2D, memset, and launch.
+func (c *binClient) okOrErr(p *pendingCall) (OKResp, error) {
+	defer putPending(p)
+	switch p.kind {
+	case msgOKResp:
+		return p.ok, nil
+	case msgErrResp:
+		return OKResp{}, fmt.Errorf("ipc: %s", p.errMsg)
+	}
+	return OKResp{}, wireError("unexpected response kind %d", p.kind)
+}
+
+// CallH2D is the zero-boxing host-to-device fast path.
+func (c *binClient) CallH2D(req H2DReq) (resp OKResp, err error) {
+	c.opts.Metrics.Counter("ipc.client.calls").Inc()
+	defer func() { c.countErr(err) }()
+	deadline := time.Now().Add(c.opts.CallTimeout)
+	id, p, conn, gen, err := c.begin(deadline)
+	if err != nil {
+		return OKResp{}, err
+	}
+	c.writeMu.Lock()
+	c.wbuf = appendH2DReq(c.wbuf, id, req)
+	err = c.sendLocked(conn, gen, deadline)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.abandon(id, p)
+		return OKResp{}, err
+	}
+	if err := c.await(id, p, gen, deadline); err != nil {
+		return OKResp{}, err
+	}
+	return c.okOrErr(p)
+}
+
+// CallD2H is the typed device-to-host fast path; the returned Data is
+// caller-owned (its allocation is the one unavoidable alloc of a D2H).
+func (c *binClient) CallD2H(req D2HReq) (resp D2HResp, err error) {
+	c.opts.Metrics.Counter("ipc.client.calls").Inc()
+	defer func() { c.countErr(err) }()
+	deadline := time.Now().Add(c.opts.CallTimeout)
+	id, p, conn, gen, err := c.begin(deadline)
+	if err != nil {
+		return D2HResp{}, err
+	}
+	c.writeMu.Lock()
+	c.wbuf = appendD2HReq(c.wbuf, id, req)
+	err = c.sendLocked(conn, gen, deadline)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.abandon(id, p)
+		return D2HResp{}, err
+	}
+	if err := c.await(id, p, gen, deadline); err != nil {
+		return D2HResp{}, err
+	}
+	defer putPending(p)
+	switch p.kind {
+	case msgD2HResp:
+		return p.d2h, nil
+	case msgErrResp:
+		return D2HResp{}, fmt.Errorf("ipc: %s", p.errMsg)
+	}
+	return D2HResp{}, wireError("unexpected response kind %d", p.kind)
+}
+
+// CallMemset is the typed memset fast path.
+func (c *binClient) CallMemset(req MemsetReq) (resp OKResp, err error) {
+	c.opts.Metrics.Counter("ipc.client.calls").Inc()
+	defer func() { c.countErr(err) }()
+	deadline := time.Now().Add(c.opts.CallTimeout)
+	id, p, conn, gen, err := c.begin(deadline)
+	if err != nil {
+		return OKResp{}, err
+	}
+	c.writeMu.Lock()
+	c.wbuf = appendMemsetReq(c.wbuf, id, req)
+	err = c.sendLocked(conn, gen, deadline)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.abandon(id, p)
+		return OKResp{}, err
+	}
+	if err := c.await(id, p, gen, deadline); err != nil {
+		return OKResp{}, err
+	}
+	return c.okOrErr(p)
+}
+
+// CallLaunch is the typed kernel-launch fast path.
+func (c *binClient) CallLaunch(req LaunchReq) (resp OKResp, err error) {
+	c.opts.Metrics.Counter("ipc.client.calls").Inc()
+	defer func() { c.countErr(err) }()
+	deadline := time.Now().Add(c.opts.CallTimeout)
+	id, p, conn, gen, err := c.begin(deadline)
+	if err != nil {
+		return OKResp{}, err
+	}
+	c.writeMu.Lock()
+	c.wbuf = appendLaunchReq(c.wbuf, id, req)
+	err = c.sendLocked(conn, gen, deadline)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.abandon(id, p)
+		return OKResp{}, err
+	}
+	if err := c.await(id, p, gen, deadline); err != nil {
+		return OKResp{}, err
+	}
+	return c.okOrErr(p)
+}
+
+func (c *binClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	var err error
+	if c.conn != nil {
+		err = c.conn.Close()
+		c.conn = nil
+	}
+	calls := c.pending
+	c.pending = map[uint64]*pendingCall{}
+	c.mu.Unlock()
+	for _, p := range calls {
+		p.err = ErrClientClosed
+		p.ch <- struct{}{}
+	}
+	return err
+}

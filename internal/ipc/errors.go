@@ -53,8 +53,15 @@ func IsRetryable(err error) bool {
 	return errors.As(err, &te) || errors.As(err, &de)
 }
 
-// transportErr classifies a raw connection error into the typed errors above.
+// transportErr classifies a raw connection error into the typed errors
+// above. Errors that are already typed (e.g. an injected fault, or a typed
+// cause threaded through a teardown) pass through unwrapped.
 func transportErr(op string, err error, timeout time.Duration) error {
+	var te *TimeoutError
+	var de *DisconnectError
+	if errors.As(err, &te) || errors.As(err, &de) {
+		return err
+	}
 	var ne net.Error
 	if errors.As(err, &ne) && ne.Timeout() {
 		return &TimeoutError{Op: op, After: timeout}

@@ -165,7 +165,8 @@ func TestRequestIDDiscardsStaleResponse(t *testing.T) {
 		}
 	}()
 
-	c, err := DialWithOptions(l.Addr().String(), 1, DialOptions{CallTimeout: 2 * time.Second})
+	// The handshake above is raw gob, so pin the gob codec explicitly.
+	c, err := DialWithOptions(l.Addr().String(), 1, DialOptions{Codec: CodecGob, CallTimeout: 2 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}

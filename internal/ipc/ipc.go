@@ -8,6 +8,8 @@
 package ipc
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -123,6 +125,17 @@ type Handler func(vp int, req any) any
 type Client interface {
 	Call(req any) (any, error)
 	Close() error
+}
+
+// TypedCaller is the optional fast-path interface of the binary codec:
+// per-message-type calls that skip the `any` boxing of Client.Call on both
+// the request and the response. The cudart remote back end type-asserts for
+// it and falls back to Call when the transport doesn't provide it.
+type TypedCaller interface {
+	CallH2D(H2DReq) (OKResp, error)
+	CallD2H(D2HReq) (D2HResp, error)
+	CallMemset(MemsetReq) (OKResp, error)
+	CallLaunch(LaunchReq) (OKResp, error)
 }
 
 // Err converts an ErrResp into an error, passing other responses through.
@@ -252,16 +265,37 @@ func (s *Server) vpClosed(vp int) {
 // block after its connection's decode loop has exited.
 const writeGrace = 2 * time.Second
 
+// serveConn sniffs the codec from the first byte of the client's hello and
+// dispatches: a binary hello opens with wireMagic (≥ 0x80), while a gob
+// stream always opens with a small uvarint length. Old gob peers therefore
+// keep working without any configuration.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.serving.Done()
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	br := bufio.NewReaderSize(conn, 1<<16)
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == wireMagic {
+		s.serveBinary(conn, br)
+		return
+	}
+	s.serveGob(conn, br)
+}
+
+// serveGob is the fallback codec path: reflection-based gob frames, one
+// handler goroutine per request (a desynchronized stream closes the
+// connection, exactly as before).
+func (s *Server) serveGob(conn net.Conn, br *bufio.Reader) {
+	dec := gob.NewDecoder(br)
 	enc := gob.NewEncoder(conn)
 	var hi hello
 	if err := dec.Decode(&hi); err != nil {
 		return
 	}
 	s.metrics.Counter("ipc.server.connections").Inc()
+	s.metrics.Counter("ipc.server.conns_gob").Inc()
 
 	// In-flight handlers for this connection. The teardown order matters:
 	// vpClosed runs first (deferred last) so the disconnect hook can cancel
@@ -297,6 +331,181 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// serverWorkersPerConn bounds how many handler workers one binary-codec
+// connection may run concurrently. Work is fanned out per stream key, so
+// independent streams execute in parallel while requests on one stream keep
+// their wire order — the pipelining ordering guarantee.
+const serverWorkersPerConn = 8
+
+// frameBuf pools frame buffers by pointer so Put never allocates a box.
+type frameBuf struct{ b []byte }
+
+var framePool = sync.Pool{New: func() any { return &frameBuf{b: make([]byte, 0, 4096)} }}
+
+// serveBinary is the fast-path server loop: length-prefixed binary frames,
+// decoded in the read loop and handled by a bounded per-connection worker
+// pool with per-stream FIFO ordering. The read loop never blocks on
+// handlers, so a dying connection is noticed immediately (the PR-2
+// disconnect-cancellation property) even while every worker is parked at a
+// synchronous point.
+func (s *Server) serveBinary(conn net.Conn, br *bufio.Reader) {
+	if magic, err := br.ReadByte(); err != nil || magic != wireMagic {
+		return
+	}
+	if ver, err := br.ReadByte(); err != nil || ver != wireVersion {
+		return
+	}
+	vp64, err := binary.ReadVarint(br)
+	if err != nil {
+		return
+	}
+	vp := int(vp64)
+	s.metrics.Counter("ipc.server.connections").Inc()
+	s.metrics.Counter("ipc.server.conns_binary").Inc()
+
+	cs := &connServer{
+		s: s, conn: conn, vp: vp,
+		queues: map[int][]binRequest{},
+		slots:  make(chan struct{}, serverWorkersPerConn),
+	}
+	// Teardown order mirrors the gob path: vpClosed runs first so the
+	// disconnect hook can cancel the jobs in-flight workers are blocked on,
+	// then response writes are bounded by writeGrace, then the workers are
+	// waited out before the connection closes.
+	defer cs.wg.Wait()
+	defer func() { conn.SetDeadline(time.Now().Add(writeGrace)) }()
+	s.vpOpened(vp)
+	defer s.vpClosed(vp)
+
+	var hdr [4]byte
+	for {
+		fb := framePool.Get().(*frameBuf)
+		fb.b, err = readFrame(br, &hdr, fb.b)
+		if err != nil {
+			// EOF, a short read, or a corrupted length prefix. The framing
+			// can no longer be trusted, so close the connection; the client
+			// sees a typed disconnect and redials.
+			framePool.Put(fb)
+			s.metrics.Counter("ipc.server.decode_errors").Inc()
+			return
+		}
+		id, body, derr := decodeMsg(fb.b)
+		if derr != nil {
+			framePool.Put(fb)
+			s.metrics.Counter("ipc.server.decode_errors").Inc()
+			return
+		}
+		s.metrics.Counter("ipc.server.requests").Inc()
+		cs.enqueue(binRequest{id: id, body: body, key: orderKey(body), fb: fb})
+	}
+}
+
+// orderKey buckets a request for per-stream ordered execution. Requests
+// without a stream (allocation lifecycle) share a key: the client issued
+// them synchronously if it cared about their order.
+func orderKey(body any) int {
+	switch r := body.(type) {
+	case H2DReq:
+		return r.Stream
+	case D2HReq:
+		return r.Stream
+	case MemsetReq:
+		return r.Stream
+	case LaunchReq:
+		return r.Stream
+	case SyncReq:
+		return r.Stream
+	}
+	return -1
+}
+
+// binRequest is one decoded request waiting for a worker. It owns its frame
+// buffer (payload views alias it) until the handler returns.
+type binRequest struct {
+	id   uint64
+	body any
+	key  int
+	fb   *frameBuf
+}
+
+// connServer runs one binary connection's handler side: per-stream FIFO
+// queues drained by at most serverWorkersPerConn workers, responses
+// serialized onto the connection through a reusable encode buffer.
+type connServer struct {
+	s    *Server
+	conn net.Conn
+	vp   int
+
+	wmu  sync.Mutex // serializes response writes; guards wbuf
+	wbuf []byte
+
+	mu      sync.Mutex
+	queues  map[int][]binRequest
+	running map[int]bool
+	slots   chan struct{}
+	wg      sync.WaitGroup
+}
+
+// enqueue appends the request to its stream's queue and starts a drainer
+// for the stream if none is running. It never blocks: the worker bound is
+// enforced inside the drainer, keeping the read loop wait-free.
+func (cs *connServer) enqueue(r binRequest) {
+	cs.mu.Lock()
+	if cs.running == nil {
+		cs.running = map[int]bool{}
+	}
+	cs.queues[r.key] = append(cs.queues[r.key], r)
+	if cs.running[r.key] {
+		cs.mu.Unlock()
+		return
+	}
+	cs.running[r.key] = true
+	cs.mu.Unlock()
+	cs.wg.Add(1)
+	go cs.drain(r.key)
+}
+
+// drain executes one stream's queued requests in FIFO order, holding a
+// worker slot while it runs.
+func (cs *connServer) drain(key int) {
+	defer cs.wg.Done()
+	cs.slots <- struct{}{}
+	defer func() { <-cs.slots }()
+	for {
+		cs.mu.Lock()
+		q := cs.queues[key]
+		if len(q) == 0 {
+			cs.running[key] = false
+			delete(cs.queues, key)
+			cs.mu.Unlock()
+			return
+		}
+		r := q[0]
+		cs.queues[key] = q[1:]
+		cs.mu.Unlock()
+		resp := cs.s.h(cs.vp, r.body)
+		cs.writeResp(r.id, resp)
+		// The handler contract: request payload views are dead once the
+		// handler returns, and a response that aliases them (echo-style
+		// handlers) has been copied onto the wire above — only now can the
+		// frame buffer be recycled.
+		framePool.Put(r.fb)
+	}
+}
+
+// writeResp encodes and writes one response frame. Write errors are
+// ignored: the read loop notices the dead connection and tears down.
+func (cs *connServer) writeResp(id uint64, body any) {
+	cs.wmu.Lock()
+	defer cs.wmu.Unlock()
+	var err error
+	cs.wbuf, err = appendMsg(cs.wbuf, id, body)
+	if err != nil {
+		cs.wbuf, _ = appendMsg(cs.wbuf, id, ErrResp{Msg: err.Error()})
+	}
+	_, _ = cs.conn.Write(cs.wbuf)
+}
+
 // Addr returns the listening address.
 func (s *Server) Addr() net.Addr { return s.l.Addr() }
 
@@ -313,8 +522,70 @@ func (s *Server) Close() error {
 	return err
 }
 
+// Shutdown is the graceful flavour of Close: it stops accepting new
+// connections immediately, then gives in-flight requests up to grace to
+// drain (clients that merely hold idle connections are cut off when the
+// grace expires) before force-closing whatever remains. It returns once
+// every serve loop has exited, so a final metrics snapshot taken after
+// Shutdown is complete.
+func (s *Server) Shutdown(grace time.Duration) error {
+	s.mu.Lock()
+	s.closed = true
+	err := s.l.Close()
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.serving.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace):
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	return err
+}
+
+// CodecKind selects the wire codec a client speaks. The server needs no
+// configuration: it sniffs the codec from the hello's first byte.
+type CodecKind uint8
+
+const (
+	// CodecBinary is the default: the hand-rolled length-prefixed binary
+	// protocol with request pipelining (wire.go).
+	CodecBinary CodecKind = iota
+	// CodecGob is the reflection-based fallback codec, kept for old peers
+	// and for the fault-injector's gob-desynchronization tests.
+	CodecGob
+)
+
+func (k CodecKind) String() string {
+	if k == CodecGob {
+		return "gob"
+	}
+	return "binary"
+}
+
+// ParseCodec maps a flag value onto a CodecKind.
+func ParseCodec(s string) (CodecKind, error) {
+	switch s {
+	case "", "binary":
+		return CodecBinary, nil
+	case "gob":
+		return CodecGob, nil
+	}
+	return CodecBinary, fmt.Errorf("ipc: unknown codec %q (want binary or gob)", s)
+}
+
 // DialOptions tune the TCP client's fault tolerance.
 type DialOptions struct {
+	// Codec selects the wire protocol; the zero value is CodecBinary.
+	Codec CodecKind
 	// CallTimeout bounds each Call end to end, including any redial.
 	// 0 means DefaultCallTimeout.
 	CallTimeout time.Duration
@@ -376,9 +647,14 @@ func Dial(addr string, vp int) (Client, error) {
 // DialWithOptions connects a VP to a service over TCP. The initial dial is a
 // single attempt (an unreachable service fails fast); once connected, a
 // broken connection is redialed lazily by the next Call with capped
-// exponential backoff, bounded by that Call's deadline.
+// exponential backoff, bounded by that Call's deadline. The default codec is
+// the pipelined binary protocol; CodecGob selects the fallback.
 func DialWithOptions(addr string, vp int, opts DialOptions) (Client, error) {
-	c := &tcpClient{addr: addr, vp: vp, opts: opts.withDefaults()}
+	opts = opts.withDefaults()
+	if opts.Codec == CodecBinary {
+		return dialBinary(addr, vp, opts)
+	}
+	c := &tcpClient{addr: addr, vp: vp, opts: opts}
 	c.backoff = c.opts.BackoffBase
 	if err := c.connect(time.Now().Add(c.opts.CallTimeout)); err != nil {
 		return nil, err

@@ -1,0 +1,5 @@
+//go:build !race
+
+package ipc
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package ipc
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation perturbs allocation counts, so alloc pins skip under it.
+const raceEnabled = true

@@ -1,0 +1,428 @@
+// Binary wire codec — the fast path of the IPC Manager. The gob codec
+// (retained as the negotiated fallback and for the fault-injector corruption
+// tests) pays reflection and type-descriptor costs on every frame; this
+// codec hand-rolls a length-prefixed binary encoding per message type over
+// pooled buffers: varint integers, raw byte payloads, zero steady-state
+// allocations for H2D/D2H/Launch frames on the encode side.
+//
+// Frame layout (everything after the hello):
+//
+//	+----------------+---------+-------------+----------------------+
+//	| length u32 LE  | type b  | id uvarint  | body (per type)      |
+//	+----------------+---------+-------------+----------------------+
+//	|<------------------------- length ------------------------->|
+//
+// The length covers type+id+body and is capped at maxFrame; a corrupted
+// length either trips the cap (typed error, connection closed) or truncates
+// the body (typed decode error). Decoding never reads past the frame and
+// never panics — FuzzWireCodec holds it to that.
+//
+// Codec negotiation rides on the first byte of the client's hello: a gob
+// stream opens with a uvarint message length, which for the small hello
+// frame is always < 0x80, while the binary hello opens with wireMagic
+// (0xD5). The server sniffs that byte and speaks whichever codec the client
+// chose, so old gob peers keep working against a new server.
+package ipc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/devmem"
+	"repro/internal/kpl"
+)
+
+// wireMagic is the first byte of a binary-codec hello. It is ≥ 0x80 so it
+// can never be confused with the opening uvarint of a gob stream.
+const wireMagic = 0xD5
+
+// wireVersion is the binary protocol version carried in the hello frame.
+const wireVersion = 1
+
+// maxFrame bounds a single frame's payload (type+id+body). Larger lengths
+// are treated as corruption and close the connection.
+const maxFrame = 1 << 27 // 128 MiB
+
+// Message type bytes. The zero value is invalid on purpose: a zeroed or
+// truncated header never decodes as a valid message.
+const (
+	msgInvalid byte = iota
+	msgMallocReq
+	msgMallocResp
+	msgFreeReq
+	msgH2DReq
+	msgD2HReq
+	msgD2HResp
+	msgMemsetReq
+	msgLaunchReq
+	msgSyncReq
+	msgOKResp
+	msgErrResp
+)
+
+// ErrMalformedFrame is the sentinel for every binary-codec decode failure:
+// truncated frames, over-long lengths, unknown message types, trailing
+// garbage. Callers match it with errors.Is.
+var ErrMalformedFrame = errors.New("ipc: malformed binary frame")
+
+// wireError wraps a decode failure with context while staying matchable as
+// ErrMalformedFrame.
+func wireError(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrMalformedFrame, fmt.Sprintf(format, args...))
+}
+
+// --- Encoding (append-style, zero-allocation into a caller buffer) ---
+
+// beginFrame reserves the length prefix and writes type + request ID.
+func beginFrame(buf []byte, typ byte, id uint64) []byte {
+	buf = append(buf[:0], 0, 0, 0, 0) // length placeholder
+	buf = append(buf, typ)
+	buf = binary.AppendUvarint(buf, id)
+	return buf
+}
+
+// finishFrame patches the length prefix.
+func finishFrame(buf []byte) []byte {
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	return buf
+}
+
+func appendInt(buf []byte, v int) []byte       { return binary.AppendVarint(buf, int64(v)) }
+func appendUint64(buf []byte, v uint64) []byte { return binary.AppendUvarint(buf, v) }
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendFloat64(buf []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+}
+
+func appendValue(buf []byte, v kpl.Value) []byte {
+	buf = append(buf, byte(v.T))
+	if v.T == kpl.I32 {
+		return binary.AppendVarint(buf, v.I)
+	}
+	return appendFloat64(buf, v.F)
+}
+
+// appendMsg encodes one request or response body (type byte + id + body)
+// into buf, returning the complete frame. It is the `any`-typed entry used
+// by the server path and the generic client Call; the typed client methods
+// below skip the boxing.
+func appendMsg(buf []byte, id uint64, body any) ([]byte, error) {
+	switch m := body.(type) {
+	case MallocReq:
+		buf = beginFrame(buf, msgMallocReq, id)
+		buf = appendInt(buf, m.Size)
+	case MallocResp:
+		buf = beginFrame(buf, msgMallocResp, id)
+		buf = appendUint64(buf, uint64(m.Ptr))
+	case FreeReq:
+		buf = beginFrame(buf, msgFreeReq, id)
+		buf = appendUint64(buf, uint64(m.Ptr))
+	case H2DReq:
+		buf = appendH2DReq(buf, id, m)
+	case D2HReq:
+		buf = appendD2HReq(buf, id, m)
+	case D2HResp:
+		buf = beginFrame(buf, msgD2HResp, id)
+		buf = appendBytes(buf, m.Data)
+		buf = appendFloat64(buf, m.End)
+	case MemsetReq:
+		buf = appendMemsetReq(buf, id, m)
+	case LaunchReq:
+		buf = appendLaunchReq(buf, id, m)
+	case SyncReq:
+		buf = beginFrame(buf, msgSyncReq, id)
+		buf = appendInt(buf, m.Stream)
+	case OKResp:
+		buf = beginFrame(buf, msgOKResp, id)
+		buf = appendFloat64(buf, m.End)
+	case ErrResp:
+		buf = beginFrame(buf, msgErrResp, id)
+		buf = appendString(buf, m.Msg)
+	default:
+		return buf, fmt.Errorf("ipc: binary codec cannot encode %T", body)
+	}
+	return finishFrame(buf), nil
+}
+
+func appendH2DReq(buf []byte, id uint64, m H2DReq) []byte {
+	buf = beginFrame(buf, msgH2DReq, id)
+	buf = appendInt(buf, m.Stream)
+	buf = appendUint64(buf, uint64(m.Dst))
+	buf = appendInt(buf, m.Off)
+	buf = appendBytes(buf, m.Data)
+	return finishFrame(buf)
+}
+
+func appendD2HReq(buf []byte, id uint64, m D2HReq) []byte {
+	buf = beginFrame(buf, msgD2HReq, id)
+	buf = appendInt(buf, m.Stream)
+	buf = appendUint64(buf, uint64(m.Src))
+	buf = appendInt(buf, m.Off)
+	buf = appendInt(buf, m.N)
+	return finishFrame(buf)
+}
+
+func appendMemsetReq(buf []byte, id uint64, m MemsetReq) []byte {
+	buf = beginFrame(buf, msgMemsetReq, id)
+	buf = appendInt(buf, m.Stream)
+	buf = appendUint64(buf, uint64(m.Dst))
+	buf = appendInt(buf, m.Off)
+	buf = appendInt(buf, m.N)
+	buf = append(buf, m.Value)
+	return finishFrame(buf)
+}
+
+func appendLaunchReq(buf []byte, id uint64, m LaunchReq) []byte {
+	buf = beginFrame(buf, msgLaunchReq, id)
+	buf = appendInt(buf, m.Stream)
+	buf = appendString(buf, m.Kernel)
+	buf = appendInt(buf, m.Grid)
+	buf = appendInt(buf, m.Block)
+	buf = appendInt(buf, m.SharedMem)
+	buf = appendInt(buf, m.Regs)
+	buf = binary.AppendUvarint(buf, uint64(len(m.Params)))
+	for name, v := range m.Params {
+		buf = appendString(buf, name)
+		buf = appendValue(buf, v)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(m.Bindings)))
+	for name, p := range m.Bindings {
+		buf = appendString(buf, name)
+		buf = appendUint64(buf, uint64(p))
+	}
+	return finishFrame(buf)
+}
+
+// appendHello encodes the binary hello: magic, version, VP id.
+func appendHello(buf []byte, vp int) []byte {
+	buf = append(buf[:0], wireMagic, wireVersion)
+	return binary.AppendVarint(buf, int64(vp))
+}
+
+// --- Decoding (bounds-checked, never over-reads, never panics) ---
+
+// wireReader walks one frame's payload. Every read is bounds-checked; after
+// an error all further reads are no-ops returning zero values, so decoders
+// can read a whole message and check rd.err once.
+type wireReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *wireReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = wireError(format, args...)
+	}
+}
+
+func (r *wireReader) byte() byte {
+	if r.err != nil || r.off >= len(r.b) {
+		r.fail("truncated at byte %d", r.off)
+		return 0
+	}
+	b := r.b[r.off]
+	r.off++
+	return b
+}
+
+func (r *wireReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("bad uvarint at byte %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *wireReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("bad varint at byte %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *wireReader) int() int { return int(r.varint()) }
+
+func (r *wireReader) float64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.fail("truncated float64 at byte %d", r.off)
+		return 0
+	}
+	f := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return f
+}
+
+// bytesView returns a view into the frame buffer (no copy). Valid only while
+// the frame buffer is; receivers that retain the data must copy.
+func (r *wireReader) bytesView() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.fail("byte slice of %d exceeds frame (%d left)", n, len(r.b)-r.off)
+		return nil
+	}
+	v := r.b[r.off : r.off+int(n) : r.off+int(n)]
+	r.off += int(n)
+	return v
+}
+
+func (r *wireReader) string() string {
+	return string(r.bytesView())
+}
+
+func (r *wireReader) value() kpl.Value {
+	t := kpl.Type(r.byte())
+	switch t {
+	case kpl.I32:
+		return kpl.Value{T: t, I: r.varint()}
+	case kpl.F32, kpl.F64:
+		return kpl.Value{T: t, F: r.float64()}
+	default:
+		r.fail("bad value type %d", t)
+		return kpl.Value{}
+	}
+}
+
+// done checks the whole payload was consumed (trailing garbage is treated as
+// corruption) and returns the accumulated error.
+func (r *wireReader) done() error {
+	if r.err == nil && r.off != len(r.b) {
+		r.fail("%d trailing bytes", len(r.b)-r.off)
+	}
+	return r.err
+}
+
+// maxMapEntries bounds decoded launch maps; a corrupted count must not
+// drive a huge pre-allocation.
+const maxMapEntries = 1 << 16
+
+// decodeMsg decodes one frame payload (after the length prefix) into a
+// request ID and a boxed body. Byte payloads (H2DReq.Data, D2HResp.Data)
+// are views into b: receivers that retain them past b's lifetime must copy.
+func decodeMsg(b []byte) (id uint64, body any, err error) {
+	rd := &wireReader{b: b}
+	typ := rd.byte()
+	id = rd.uvarint()
+	switch typ {
+	case msgMallocReq:
+		m := MallocReq{Size: rd.int()}
+		return id, m, rd.done()
+	case msgMallocResp:
+		m := MallocResp{Ptr: devmem.Ptr(rd.uvarint())}
+		return id, m, rd.done()
+	case msgFreeReq:
+		m := FreeReq{Ptr: devmem.Ptr(rd.uvarint())}
+		return id, m, rd.done()
+	case msgH2DReq:
+		m := H2DReq{Stream: rd.int(), Dst: devmem.Ptr(rd.uvarint()), Off: rd.int()}
+		m.Data = rd.bytesView()
+		return id, m, rd.done()
+	case msgD2HReq:
+		m := D2HReq{Stream: rd.int(), Src: devmem.Ptr(rd.uvarint()), Off: rd.int(), N: rd.int()}
+		return id, m, rd.done()
+	case msgD2HResp:
+		m := D2HResp{Data: rd.bytesView(), End: rd.float64()}
+		return id, m, rd.done()
+	case msgMemsetReq:
+		m := MemsetReq{Stream: rd.int(), Dst: devmem.Ptr(rd.uvarint()), Off: rd.int(), N: rd.int(), Value: rd.byte()}
+		return id, m, rd.done()
+	case msgLaunchReq:
+		m, err := decodeLaunch(rd)
+		return id, m, err
+	case msgSyncReq:
+		m := SyncReq{Stream: rd.int()}
+		return id, m, rd.done()
+	case msgOKResp:
+		m := OKResp{End: rd.float64()}
+		return id, m, rd.done()
+	case msgErrResp:
+		m := ErrResp{Msg: rd.string()}
+		return id, m, rd.done()
+	default:
+		return id, nil, wireError("unknown message type %d", typ)
+	}
+}
+
+func decodeLaunch(rd *wireReader) (LaunchReq, error) {
+	m := LaunchReq{
+		Stream: rd.int(), Kernel: rd.string(),
+		Grid: rd.int(), Block: rd.int(), SharedMem: rd.int(), Regs: rd.int(),
+	}
+	np := rd.uvarint()
+	if np > maxMapEntries {
+		rd.fail("params count %d exceeds cap", np)
+		return m, rd.err
+	}
+	if np > 0 && rd.err == nil {
+		m.Params = make(map[string]kpl.Value, np)
+		for i := uint64(0); i < np && rd.err == nil; i++ {
+			name := rd.string()
+			m.Params[name] = rd.value()
+		}
+	}
+	nb := rd.uvarint()
+	if nb > maxMapEntries {
+		rd.fail("bindings count %d exceeds cap", nb)
+		return m, rd.err
+	}
+	if nb > 0 && rd.err == nil {
+		m.Bindings = make(map[string]devmem.Ptr, nb)
+		for i := uint64(0); i < nb && rd.err == nil; i++ {
+			name := rd.string()
+			m.Bindings[name] = devmem.Ptr(rd.uvarint())
+		}
+	}
+	return m, rd.done()
+}
+
+// readFrame reads one length-prefixed frame payload from r into buf
+// (growing it if needed) and returns the payload slice. It enforces
+// maxFrame before allocating or reading the payload, so a corrupted length
+// can neither over-allocate nor over-read.
+func readFrame(r io.Reader, hdr *[4]byte, buf []byte) ([]byte, error) {
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return buf, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return buf, wireError("frame length %d out of range", n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return buf, err
+	}
+	return buf, nil
+}

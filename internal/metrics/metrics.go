@@ -97,6 +97,10 @@ var (
 	// CountBuckets spans small integer observations (reorder distances,
 	// occupancies, batch sizes).
 	CountBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64}
+	// DepthBuckets spans in-flight depths (pipelined requests per
+	// connection, queue occupancy): 1 means no overlap, the tail the
+	// worker-pool bound and beyond.
+	DepthBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
 )
 
 // Registry is a named family of instruments plus a job event trace.
