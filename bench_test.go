@@ -176,6 +176,29 @@ func BenchmarkFig13(b *testing.B) {
 	b.ReportMetric(worst, "worst-power-error")
 }
 
+// BenchmarkMultiGPUScaling runs the multi-GPU serving study (16 VPs, mixed
+// workload, 1/2/4 devices) and reports the 4-device speedup and the worst
+// per-device compute utilization — the BENCH_7 headline numbers.
+func BenchmarkMultiGPUScaling(b *testing.B) {
+	var last *experiments.MultiGPUResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.MultiGPUScaling(16, 8, []int{1, 2, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	p4 := last.Points[len(last.Points)-1]
+	b.ReportMetric(p4.Speedup, "4dev-speedup")
+	minU := 1.0
+	for _, u := range p4.Utilization {
+		if u < minU {
+			minU = u
+		}
+	}
+	b.ReportMetric(minU, "4dev-min-utilization")
+}
+
 // --- Ablation benchmarks for the design choices DESIGN.md calls out: the
 // dispatcher baseline vs each optimization in isolation on a mixed 8-VP
 // iteration.

@@ -3,7 +3,11 @@
 //
 // Usage:
 //
-//	sigmavp [-scale N] [-workers N] table1|fig3|fig9a|fig9b|fig10a|fig10b|fig11|fig12|fig13|sweep|scaling|faults|all
+//	sigmavp [-scale N] [-workers N] table1|fig3|fig9a|fig9b|fig10a|fig10b|fig11|fig12|fig13|sweep|scaling|multigpu|faults|all
+//
+// "multigpu" runs the multi-GPU serving study: the same -vps VP fleet with a
+// mixed workload served by 1, 2, and 4 host GPUs through a core.MultiService,
+// reporting makespan, speedup, and per-device compute utilization.
 //
 // "faults" runs the fault-injection drill: a fleet of VPs exercising the TCP
 // IPC stack while the client transport injects seeded drop/delay/corrupt/
@@ -35,6 +39,7 @@ import (
 func main() {
 	scale := flag.Int("scale", 8, "workload scale for fig11/fig12/fig13/sweep/scaling")
 	app := flag.String("app", "BlackScholes", "application for the scaling study")
+	vps := flag.Int("vps", 16, "VP fleet size for the multigpu study")
 	workers := flag.Int("workers", 0, "experiment-harness worker pool size (0 = NumCPU, 1 = serial)")
 	faults := flag.String("faults", "seed=1,drop=0.05,delay=0.2,maxdelay=5ms,corrupt=0.02,disconnect=0.02",
 		"fault-injection spec for the faults drill (key=value pairs; see internal/ipc.ParseFaults)")
@@ -43,7 +48,7 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	metricsFile := flag.String("metrics", "", "write the harness metrics snapshot (JSON) to this file on exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sigmavp [-scale N] [-workers N] [-faults SPEC] [-codec binary|gob] [-metrics FILE] [-cpuprofile FILE] [-memprofile FILE] table1|fig3|fig9a|fig9b|fig10a|fig10b|fig11|fig12|fig13|sweep|scaling|faults|all\n")
+		fmt.Fprintf(os.Stderr, "usage: sigmavp [-scale N] [-workers N] [-faults SPEC] [-codec binary|gob] [-metrics FILE] [-cpuprofile FILE] [-memprofile FILE] table1|fig3|fig9a|fig9b|fig10a|fig10b|fig11|fig12|fig13|sweep|scaling|multigpu|faults|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -65,6 +70,9 @@ func main() {
 		"fig13":   func() (fmt.Stringer, error) { return experiments.Fig13(*scale) },
 		"sweep":   func() (fmt.Stringer, error) { return experiments.EstimationSweep(*scale) },
 		"scaling": func() (fmt.Stringer, error) { return experiments.Scaling(*app, *scale) },
+		"multigpu": func() (fmt.Stringer, error) {
+			return experiments.MultiGPUScaling(*vps, *scale, []int{1, 2, 4})
+		},
 		"faults": func() (fmt.Stringer, error) {
 			codec, err := ipc.ParseCodec(*codecName)
 			if err != nil {
@@ -75,7 +83,7 @@ func main() {
 	}
 	// "faults" is deliberately absent: it is a robustness drill, not a paper
 	// artifact, and must not perturb `sigmavp all` regeneration output.
-	order := []string{"table1", "fig3", "fig9a", "fig9b", "fig10a", "fig10b", "fig11", "fig12", "fig13", "sweep", "scaling"}
+	order := []string{"table1", "fig3", "fig9a", "fig9b", "fig10a", "fig10b", "fig11", "fig12", "fig13", "sweep", "scaling", "multigpu"}
 
 	what := flag.Arg(0)
 	var todo []string

@@ -1,18 +1,27 @@
 // Command sigmavpd runs the ΣVP host service as a standalone daemon: VPs in
 // other processes connect over TCP (the paper's socket flavour of the IPC
-// manager) and multiplex this process's simulated host GPU. Pair it with
+// manager) and multiplex this process's simulated host GPUs. Pair it with
 // `vpsim -connect <addr>`.
+//
+// With -gpus, the daemon serves a whole GPU farm through one listener: each
+// VP is assigned to a device by the -placement policy at its first request
+// (hello), invisibly to the client. -gpus takes either an integer count of
+// -arch devices ("-gpus 4") or a comma-separated preset list
+// ("-gpus quadro,k520").
 //
 // With -http, the daemon also serves an observability endpoint:
 //
 //	GET /metrics  — the service registry snapshot (counters, gauges,
-//	                histograms, per-job events) as deterministic JSON
+//	                histograms, per-job events) as deterministic JSON;
+//	                in multi-GPU mode, per-device families are namespaced
+//	                "gpu<i>." with unprefixed aggregates alongside
 //	GET /trace    — the engine timeline (records, span, per-engine
-//	                utilization) as JSON
+//	                utilization) as JSON; in multi-GPU mode the merged view,
+//	                engines labeled "gpu<i>/<engine>"
 //
 // Usage:
 //
-//	sigmavpd [-listen 127.0.0.1:7075] [-http ADDR] [-arch quadro|k520] [-baseline]
+//	sigmavpd [-listen 127.0.0.1:7075] [-http ADDR] [-arch quadro|k520|tegra] [-gpus N|LIST] [-placement POLICY] [-baseline]
 package main
 
 import (
@@ -23,34 +32,37 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/ipc"
+	"repro/internal/metrics"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7075", "TCP listen address")
 	httpAddr := flag.String("http", "", "serve /metrics and /trace on this address (empty = disabled)")
-	archName := flag.String("arch", "quadro", "host GPU: quadro or k520")
+	archName := flag.String("arch", "quadro", "host GPU preset: quadro, k520, or tegra")
+	gpusFlag := flag.String("gpus", "", "serve multiple host GPUs: a device count (of -arch) or a comma-separated preset list; empty = single device")
+	placementName := flag.String("placement", "round-robin", "multi-GPU placement policy: round-robin, least-loaded, or mem-aware")
 	baseline := flag.Bool("baseline", false, "disable the optimizations (serialized dispatch)")
 	grace := flag.Duration("grace", 5*time.Second, "shutdown grace period for in-flight requests")
 	metricsOut := flag.String("metrics-out", "", "write a final metrics snapshot (JSON) to this file on shutdown")
 	flag.Parse()
 
 	opts := core.DefaultOptions()
-	switch *archName {
-	case "quadro":
-		opts.Arch = arch.Quadro4000()
-	case "k520":
-		opts.Arch = arch.GridK520()
-	default:
-		fmt.Fprintf(os.Stderr, "sigmavpd: unknown arch %q\n", *archName)
+	hostArch, err := arch.Preset(*archName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sigmavpd: %v\n", err)
 		os.Exit(2)
 	}
+	opts.Arch = hostArch
 	if *baseline {
 		opts.Policy = sched.PolicyFIFO
 		opts.Coalesce = false
@@ -59,20 +71,68 @@ func main() {
 		// /trace is only useful with the timeline recorder on.
 		opts.Trace = true
 	}
-	svc := core.NewService(opts)
+
+	// Both serving shapes collapse onto one ipc.Endpoint plus snapshot and
+	// trace accessors; everything below this block is shape-agnostic.
+	var (
+		ep      ipc.Endpoint
+		snap    func() metrics.Snapshot
+		traceOf func() *trace.Log
+		syncOf  func() float64
+		banner  string
+	)
+	if *gpusFlag == "" {
+		svc := core.NewService(opts)
+		ep = svc
+		snap = func() metrics.Snapshot { return svc.Metrics().Snapshot() }
+		traceOf = svc.Trace
+		syncOf = svc.Sync
+		banner = opts.Arch.Name
+	} else {
+		gpus, err := parseGPUs(*gpusFlag, hostArch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sigmavpd: -gpus: %v\n", err)
+			os.Exit(2)
+		}
+		placement, err := core.ParsePlacement(*placementName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sigmavpd: -placement: %v\n", err)
+			os.Exit(2)
+		}
+		ms, err := core.NewMultiServicePlaced(opts, gpus, placement)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sigmavpd: %v\n", err)
+			os.Exit(2)
+		}
+		ep = ms
+		snap = ms.Snapshot
+		traceOf = ms.MergedTrace
+		syncOf = ms.Sync
+		names := make([]string, len(gpus))
+		for i, g := range gpus {
+			names[i] = g.Name
+		}
+		banner = fmt.Sprintf("%d GPUs [%s], %s placement", len(gpus), strings.Join(names, ", "), placement)
+	}
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sigmavpd:", err)
 		os.Exit(1)
 	}
-	// DisconnectVP (not UnregisterVP) as the disconnect hook: a VP whose
-	// connection dies mid-batch has its orphaned jobs cancelled instead of
-	// wedging the batching predicate.
-	srv := ipc.ServeWithHooks(l, svc.Handle, svc.RegisterVP, svc.DisconnectVP)
-	srv.SetMetrics(svc.Metrics())
-	fmt.Printf("sigmavpd: serving %s on %s (optimizations %v)\n",
-		opts.Arch.Name, srv.Addr(), !*baseline)
+	// ServeEndpoint wires DisconnectVP (not UnregisterVP) as the disconnect
+	// hook: a VP whose connection dies mid-batch has its orphaned jobs
+	// cancelled instead of wedging the batching predicate.
+	srv := ipc.ServeEndpoint(l, ep)
+	// Transport counters live in their own registry (the simulated-work
+	// snapshot must not vary with codec or reconnect noise) and are merged
+	// into the served and final snapshots.
+	transport := metrics.New()
+	srv.SetMetrics(transport)
+	fullSnap := func() metrics.Snapshot {
+		return metrics.MergeSnapshots(snap(), transport.Snapshot())
+	}
+	fmt.Printf("sigmavpd: serving %s on %s (optimizations %v)\n", banner, srv.Addr(), !*baseline)
 
 	var obs *http.Server
 	if *httpAddr != "" {
@@ -81,7 +141,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sigmavpd: -http:", err)
 			os.Exit(1)
 		}
-		obs = &http.Server{Handler: buildMux(svc)}
+		obs = &http.Server{Handler: buildMux(fullSnap, traceOf)}
 		go obs.Serve(hl)
 		fmt.Printf("sigmavpd: observability on http://%s (/metrics, /trace)\n", hl.Addr())
 	}
@@ -90,11 +150,35 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
 	fmt.Printf("sigmavpd: %v: draining (grace %v)\n", s, *grace)
-	if err := shutdown(srv, obs, svc, *grace, *metricsOut); err != nil {
+	if err := shutdown(srv, obs, fullSnap, *grace, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "sigmavpd: shutdown:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("sigmavpd: shut down; simulated device time %.3f ms\n", svc.Sync()*1e3)
+	fmt.Printf("sigmavpd: shut down; simulated device time %.3f ms\n", syncOf()*1e3)
+}
+
+// parseGPUs decodes the -gpus flag: an integer replicates the -arch device,
+// a comma-separated list names presets per device.
+func parseGPUs(spec string, def arch.GPU) ([]arch.GPU, error) {
+	if n, err := strconv.Atoi(spec); err == nil {
+		if n < 1 {
+			return nil, fmt.Errorf("device count %d < 1", n)
+		}
+		gpus := make([]arch.GPU, n)
+		for i := range gpus {
+			gpus[i] = def
+		}
+		return gpus, nil
+	}
+	var gpus []arch.GPU
+	for _, name := range strings.Split(spec, ",") {
+		g, err := arch.Preset(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		gpus = append(gpus, g)
+	}
+	return gpus, nil
 }
 
 // shutdown drains the daemon: the listener closes immediately (no new VPs),
@@ -103,7 +187,7 @@ func main() {
 // snapshot flushed. Before this sequence existed the daemon died mid-frame
 // on SIGINT, which clients observed as a decode error instead of a clean
 // disconnect.
-func shutdown(srv *ipc.Server, obs *http.Server, svc *core.Service, grace time.Duration, metricsOut string) error {
+func shutdown(srv *ipc.Server, obs *http.Server, snap func() metrics.Snapshot, grace time.Duration, metricsOut string) error {
 	if obs != nil {
 		obs.Close()
 	}
@@ -113,7 +197,7 @@ func shutdown(srv *ipc.Server, obs *http.Server, svc *core.Service, grace time.D
 	if metricsOut == "" {
 		return nil
 	}
-	data, err := svc.Metrics().Snapshot().JSON()
+	data, err := snap().JSON()
 	if err != nil {
 		return err
 	}
@@ -136,11 +220,12 @@ type traceRecord struct {
 	End    float64 `json:"end"`
 }
 
-// buildMux wires the observability endpoints for a service.
-func buildMux(svc *core.Service) *http.ServeMux {
+// buildMux wires the observability endpoints over snapshot and trace
+// accessors, so single- and multi-device daemons serve the same API.
+func buildMux(snap func() metrics.Snapshot, traceOf func() *trace.Log) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		data, err := svc.Metrics().Snapshot().JSON()
+		data, err := snap().JSON()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -149,7 +234,7 @@ func buildMux(svc *core.Service) *http.ServeMux {
 		w.Write(append(data, '\n'))
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
-		tl := svc.Trace()
+		tl := traceOf()
 		if tl == nil {
 			http.Error(w, "trace disabled", http.StatusNotFound)
 			return

@@ -6,9 +6,11 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/ipc"
 	"repro/internal/metrics"
@@ -41,7 +43,8 @@ func TestGracefulShutdown(t *testing.T) {
 	c.Close()
 
 	out := filepath.Join(t.TempDir(), "metrics.json")
-	if err := shutdown(srv, nil, svc, 2*time.Second, out); err != nil {
+	snapFn := func() metrics.Snapshot { return svc.Metrics().Snapshot() }
+	if err := shutdown(srv, nil, snapFn, 2*time.Second, out); err != nil {
 		t.Fatal(err)
 	}
 
@@ -72,7 +75,7 @@ func TestObservabilityEndpoints(t *testing.T) {
 	opts := core.DefaultOptions()
 	opts.Trace = true
 	svc := core.NewService(opts)
-	mux := buildMux(svc)
+	mux := buildMux(func() metrics.Snapshot { return svc.Metrics().Snapshot() }, svc.Trace)
 
 	svc.RegisterVP(1)
 	c := ipc.Pipe(1, svc.Handle)
@@ -124,10 +127,123 @@ func TestObservabilityEndpoints(t *testing.T) {
 	}
 }
 
+// TestParseGPUs covers the -gpus flag vocabulary.
+func TestParseGPUs(t *testing.T) {
+	def := arch.Quadro4000()
+	gpus, err := parseGPUs("3", def)
+	if err != nil || len(gpus) != 3 || gpus[2].Name != def.Name {
+		t.Fatalf("parseGPUs(3) = %v, %v", gpus, err)
+	}
+	gpus, err = parseGPUs("quadro, k520", def)
+	if err != nil || len(gpus) != 2 || gpus[0].Name == gpus[1].Name {
+		t.Fatalf("parseGPUs(list) = %v, %v", gpus, err)
+	}
+	if _, err := parseGPUs("0", def); err == nil {
+		t.Fatal("accepted zero devices")
+	}
+	if _, err := parseGPUs("quadro,bogus", def); err == nil {
+		t.Fatal("accepted unknown preset")
+	}
+}
+
+// TestMultiGPUDaemon drives the -gpus serving shape end to end: two VPs
+// connect over TCP to a two-device MultiService behind ipc.ServeEndpoint,
+// and the observability endpoints expose the per-device namespaced metrics
+// and the merged trace.
+func TestMultiGPUDaemon(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Trace = true
+	gpus, err := parseGPUs("2", arch.Quadro4000())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := core.NewMultiServicePlaced(opts, gpus, core.PlaceRoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ipc.ServeEndpoint(l, ms)
+	transport := metrics.New()
+	srv.SetMetrics(transport)
+	fullSnap := func() metrics.Snapshot {
+		return metrics.MergeSnapshots(ms.Snapshot(), transport.Snapshot())
+	}
+	mux := buildMux(fullSnap, ms.MergedTrace)
+
+	for vp := 1; vp <= 2; vp++ {
+		c, err := ipc.Dial(srv.Addr().String(), vp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := c.Call(ipc.MallocReq{Size: 1 << 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptr := resp.(ipc.MallocResp).Ptr
+		if _, err := c.Call(ipc.H2DReq{Dst: ptr, Data: make([]byte, 1<<12)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Call(ipc.SyncReq{}); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("/metrics not JSON: %v", err)
+	}
+	g0 := snap.CounterValue("gpu0.core.jobs_submitted")
+	g1 := snap.CounterValue("gpu1.core.jobs_submitted")
+	if g0 == 0 || g1 == 0 {
+		t.Fatalf("round-robin should land one VP per device: gpu0=%d gpu1=%d", g0, g1)
+	}
+	if agg := snap.CounterValue("core.jobs_submitted"); agg != g0+g1 {
+		t.Fatalf("aggregate %d != gpu0 %d + gpu1 %d", agg, g0, g1)
+	}
+	if snap.CounterValue("ipc.server.requests") == 0 {
+		t.Fatal("transport counters missing from merged snapshot")
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/trace", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/trace status %d", rec.Code)
+	}
+	var view traceView
+	if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+		t.Fatalf("/trace not JSON: %v", err)
+	}
+	if len(view.Records) == 0 {
+		t.Fatal("/trace shows no records after traffic")
+	}
+	for _, r := range view.Records {
+		if !strings.HasPrefix(r.Engine, "gpu0/") && !strings.HasPrefix(r.Engine, "gpu1/") {
+			t.Fatalf("merged trace record engine %q not device-namespaced", r.Engine)
+		}
+	}
+
+	out := filepath.Join(t.TempDir(), "metrics.json")
+	if err := shutdown(srv, nil, fullSnap, 2*time.Second, out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestTraceDisabled checks /trace 404s when the recorder is off.
 func TestTraceDisabled(t *testing.T) {
 	svc := core.NewService(core.DefaultOptions())
-	mux := buildMux(svc)
+	mux := buildMux(func() metrics.Snapshot { return svc.Metrics().Snapshot() }, svc.Trace)
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/trace", nil))
 	if rec.Code != 404 {

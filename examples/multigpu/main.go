@@ -1,8 +1,11 @@
 // Multigpu: the plural in the paper's title — "ΣVP multiplexes the host
 // GPUs". Eight VPs are partitioned across the machine's two host GPUs
-// (Quadro 4000 and Grid K520); each device runs its own Re-scheduler, so
-// interleaving and coalescing happen among the VPs sharing a device, and the
-// session makespan is the slower device's.
+// (Quadro 4000 and Grid K520) by the least-loaded placement policy; each
+// device runs its own Re-scheduler, so interleaving and coalescing happen
+// among the VPs sharing a device, and the session makespan is the slower
+// device's. Afterwards the aggregated snapshot shows each device's counters
+// under a "gpu<i>." namespace and the merged trace shows the whole farm's
+// engine utilization.
 package main
 
 import (
@@ -53,7 +56,9 @@ func app(v *vp.VP) error {
 }
 
 func main() {
-	m, err := core.NewMultiService(core.DefaultOptions(), arch.HostGPUs())
+	opts := core.DefaultOptions()
+	opts.Trace = true
+	m, err := core.NewMultiServicePlaced(opts, arch.HostGPUs(), core.PlaceLeastLoaded)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,5 +78,21 @@ func main() {
 		fmt.Printf("device %d (%s): busy until %.3f ms\n",
 			i, m.Device(i).GPU.Arch.Name, m.Device(i).Sync()*1e3)
 	}
-	fmt.Printf("session makespan: %.3f ms\n", m.Sync()*1e3)
+	fmt.Printf("session makespan: %.3f ms (%s placement)\n", m.Sync()*1e3, m.Placement())
+
+	// The aggregated snapshot namespaces each device's counters.
+	snap := m.Snapshot()
+	for i := 0; i < m.Devices(); i++ {
+		fmt.Printf("gpu%d.core.jobs_submitted = %d\n",
+			i, snap.CounterValue(fmt.Sprintf("gpu%d.core.jobs_submitted", i)))
+	}
+	fmt.Printf("core.jobs_submitted (all devices) = %d\n", snap.CounterValue("core.jobs_submitted"))
+
+	// The merged trace labels every engine row "gpu<i>/<engine>".
+	if tl := m.MergedTrace(); tl != nil {
+		fmt.Println("farm utilization:")
+		for _, eng := range []string{"gpu0/compute", "gpu1/compute"} {
+			fmt.Printf("  %-12s %.1f%%\n", eng, tl.Utilization()[eng]*100)
+		}
+	}
 }

@@ -1,5 +1,7 @@
 package arch
 
+import "fmt"
+
 // The preset descriptors below model the three GPUs of the paper's
 // experimental setup (Section 5): NVIDIA Quadro 4000 and Grid K520 as host
 // GPUs, and NVIDIA Tegra K1 as the simulated embedded target. Geometry and
@@ -160,3 +162,17 @@ func ARMVersatile() CPU {
 
 // HostGPUs returns the host GPU presets used across the experiments.
 func HostGPUs() []GPU { return []GPU{Quadro4000(), GridK520()} }
+
+// Preset returns a named GPU descriptor — the vocabulary the CLIs accept for
+// -arch and -gpus lists.
+func Preset(name string) (GPU, error) {
+	switch name {
+	case "quadro", "quadro4000":
+		return Quadro4000(), nil
+	case "k520", "gridk520":
+		return GridK520(), nil
+	case "tegra", "tegrak1", "k1":
+		return TegraK1(), nil
+	}
+	return GPU{}, fmt.Errorf("arch: unknown GPU preset %q (want quadro, k520, or tegra)", name)
+}

@@ -3,37 +3,121 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/coalesce"
 	"repro/internal/cudart"
 	"repro/internal/devmem"
 	"repro/internal/hostgpu"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
-// MultiService multiplexes SEVERAL host GPUs among the VPs — the paper's
-// full premise ("ΣVP multiplexes the host GPUs"). VPs are partitioned across
-// devices by static assignment, the way the prototype's Job Dispatcher
-// "links the requests to the GPU driver library on the host machine": jobs
-// of one VP always run on the VP's device, so per-VP ordering needs no
-// cross-device synchronization, and each device runs its own Re-scheduler
-// pass (interleaving and coalescing happen among the VPs sharing a device).
-type MultiService struct {
-	services []*Service
-	byVP     map[int]*Service
+// PlacementPolicy selects how a MultiService assigns a newly seen VP to a
+// host GPU. Every policy is deterministic for a fixed registration order:
+// scores are derived from service state mutated only under the MultiService
+// lock, and every tie breaks on the lowest device index.
+type PlacementPolicy uint8
+
+// Placement policies.
+const (
+	// PlaceRoundRobin cycles through the devices in index order — the
+	// deterministic default, and what the other policies degrade to when
+	// all devices are idle and equally provisioned.
+	PlaceRoundRobin PlacementPolicy = iota
+	// PlaceLeastLoaded scores each device by its queued work and its
+	// accumulated hostgpu busy time (simulated seconds), picking the least
+	// loaded; assigned-VP count breaks score ties so an idle fleet still
+	// spreads out.
+	PlaceLeastLoaded
+	// PlaceMemAware picks the device with the most devmem headroom at
+	// registration (capacity − allocated bytes), so a VP with a heavy
+	// resident working set does not land on an already-crowded device;
+	// assigned-VP count breaks headroom ties.
+	PlaceMemAware
+)
+
+func (p PlacementPolicy) String() string {
+	switch p {
+	case PlaceLeastLoaded:
+		return "least-loaded"
+	case PlaceMemAware:
+		return "mem-aware"
+	}
+	return "round-robin"
 }
 
-// NewMultiService builds one service per host GPU descriptor.
+// ParsePlacement maps a flag value onto a PlacementPolicy.
+func ParsePlacement(s string) (PlacementPolicy, error) {
+	switch s {
+	case "", "rr", "round-robin", "roundrobin":
+		return PlaceRoundRobin, nil
+	case "least-loaded", "leastloaded", "load":
+		return PlaceLeastLoaded, nil
+	case "mem-aware", "memaware", "mem":
+		return PlaceMemAware, nil
+	}
+	return PlaceRoundRobin, fmt.Errorf("core: unknown placement policy %q (want round-robin, least-loaded, or mem-aware)", s)
+}
+
+// MultiService multiplexes SEVERAL host GPUs among the VPs — the paper's
+// full premise ("ΣVP multiplexes the host GPUs"). VPs are partitioned across
+// devices at registration by a pluggable placement policy, the way the
+// prototype's Job Dispatcher "links the requests to the GPU driver library
+// on the host machine": jobs of one VP always run on the VP's device, so
+// per-VP ordering needs no cross-device synchronization, and each device
+// runs its own Re-scheduler pass (interleaving and coalescing happen among
+// the VPs sharing a device).
+//
+// The service is safe for concurrent use: registration, lookup, and
+// disconnect may race freely from connection handlers (the IPC server calls
+// RegisterVP/DisconnectVP from per-connection goroutines). It also
+// implements ipc-servable request handling — Handle routes each request to
+// the owning device, so `ipc.ServeEndpoint(l, multi)` serves a whole GPU
+// farm over one listener with the device assignment decided at VP hello,
+// invisible to the client.
+//
+// Each device service owns a private metrics registry so same-named counters
+// never collide across devices (a shared registry silently double-counted
+// "hostgpu.*" and "sched.*" families); Snapshot exposes them namespaced
+// per device plus an unprefixed aggregate.
+type MultiService struct {
+	services  []*Service
+	placement PlacementPolicy
+
+	mu      sync.RWMutex
+	byVP    map[int]int // VP → device index; sticky across reconnects
+	vpCount []int       // VPs ever assigned per device (placement tie-break)
+	nextRR  int         // round-robin cursor
+}
+
+// NewMultiService builds one service per host GPU descriptor with the
+// default round-robin placement. Options apply to every device, except that
+// Options.Metrics is ignored: each device gets a private registry (see
+// MultiService.Snapshot) so per-device counters cannot collide.
 func NewMultiService(opts Options, gpus []arch.GPU) (*MultiService, error) {
+	return NewMultiServicePlaced(opts, gpus, PlaceRoundRobin)
+}
+
+// NewMultiServicePlaced is NewMultiService with an explicit placement policy.
+func NewMultiServicePlaced(opts Options, gpus []arch.GPU, placement PlacementPolicy) (*MultiService, error) {
 	if len(gpus) == 0 {
 		return nil, fmt.Errorf("core: multi-service with no GPUs")
 	}
-	m := &MultiService{byVP: map[int]*Service{}}
+	m := &MultiService{
+		placement: placement,
+		byVP:      map[int]int{},
+		vpCount:   make([]int, len(gpus)),
+	}
 	for _, g := range gpus {
 		o := opts
 		o.Arch = g
+		// Never share a caller-supplied registry between devices: same-named
+		// counters from different devices would silently sum. Each device
+		// records into its own registry; Snapshot namespaces and aggregates.
+		o.Metrics = metrics.New()
 		m.services = append(m.services, NewService(o))
 	}
 	return m, nil
@@ -45,35 +129,112 @@ func (m *MultiService) Device(i int) *Service { return m.services[i] }
 // Devices returns the number of host GPUs.
 func (m *MultiService) Devices() int { return len(m.services) }
 
-// serviceFor returns (assigning round-robin on first sight) the device
-// service of a VP.
-func (m *MultiService) serviceFor(vp int) *Service {
-	if s, ok := m.byVP[vp]; ok {
-		return s
-	}
-	s := m.services[len(m.byVP)%len(m.services)]
-	m.byVP[vp] = s
-	return s
+// Placement returns the active placement policy.
+func (m *MultiService) Placement() PlacementPolicy { return m.placement }
+
+// Assignment returns the device index a VP is placed on, and whether the VP
+// has been seen at all.
+func (m *MultiService) Assignment(vp int) (int, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	d, ok := m.byVP[vp]
+	return d, ok
 }
 
-// RegisterVP assigns the VP to a device and announces it there.
+// place chooses a device for a new VP. Caller holds m.mu.
+func (m *MultiService) place() int {
+	switch m.placement {
+	case PlaceLeastLoaded:
+		best := 0
+		bq, bb := m.services[0].QueuedJobs(), m.services[0].BusySeconds()
+		for i := 1; i < len(m.services); i++ {
+			q, b := m.services[i].QueuedJobs(), m.services[i].BusySeconds()
+			if q < bq || (q == bq && (b < bb || (b == bb && m.vpCount[i] < m.vpCount[best]))) {
+				best, bq, bb = i, q, b
+			}
+		}
+		return best
+	case PlaceMemAware:
+		best := 0
+		bh := m.services[0].GPU.Mem.Headroom()
+		for i := 1; i < len(m.services); i++ {
+			h := m.services[i].GPU.Mem.Headroom()
+			if h > bh || (h == bh && m.vpCount[i] < m.vpCount[best]) {
+				best, bh = i, h
+			}
+		}
+		return best
+	default:
+		d := m.nextRR % len(m.services)
+		m.nextRR++
+		return d
+	}
+}
+
+// serviceFor returns the device service of a VP, assigning one by the
+// placement policy on first sight. The assignment is sticky: a VP that
+// reconnects (or merely re-registers) keeps its device, so its allocations
+// stay reachable.
+func (m *MultiService) serviceFor(vp int) *Service {
+	m.mu.RLock()
+	d, ok := m.byVP[vp]
+	m.mu.RUnlock()
+	if ok {
+		return m.services[d]
+	}
+	m.mu.Lock()
+	if d, ok = m.byVP[vp]; !ok {
+		d = m.place()
+		m.byVP[vp] = d
+		m.vpCount[d]++
+	}
+	m.mu.Unlock()
+	return m.services[d]
+}
+
+// RegisterVP assigns the VP to a device and announces it there. Safe to call
+// from concurrent connection handlers.
 func (m *MultiService) RegisterVP(id int) {
 	m.serviceFor(id).RegisterVP(id)
 }
 
-// UnregisterVP removes the VP from its device.
+// UnregisterVP removes the VP from its device at a clean point. The device
+// assignment itself is retained for reconnects.
 func (m *MultiService) UnregisterVP(id int) {
-	if s, ok := m.byVP[id]; ok {
-		s.UnregisterVP(id)
+	m.mu.RLock()
+	d, ok := m.byVP[id]
+	m.mu.RUnlock()
+	if ok {
+		m.services[d].UnregisterVP(id)
 	}
 }
 
 // DisconnectVP removes a VP that vanished abruptly, cancelling its orphaned
-// jobs on its device (see Service.DisconnectVP).
+// jobs on its device (see Service.DisconnectVP). Use it as the ipc server's
+// disconnect hook.
 func (m *MultiService) DisconnectVP(id int) {
-	if s, ok := m.byVP[id]; ok {
-		s.DisconnectVP(id)
+	m.mu.RLock()
+	d, ok := m.byVP[id]
+	m.mu.RUnlock()
+	if ok {
+		m.services[d].DisconnectVP(id)
 	}
+}
+
+// ActiveVPs returns the number of currently registered VPs across devices.
+func (m *MultiService) ActiveVPs() int {
+	n := 0
+	for _, s := range m.services {
+		n += s.ActiveVPs()
+	}
+	return n
+}
+
+// Handle implements ipc.Handler: each request runs on the VP's device. With
+// the lifecycle hooks (RegisterVP on hello, DisconnectVP on hangup) this
+// makes the whole farm remotely servable — ipc.ServeEndpoint(l, m).
+func (m *MultiService) Handle(vp int, req any) any {
+	return m.serviceFor(vp).Handle(vp, req)
 }
 
 // Backend returns the cudart back end bound to the VP's device.
@@ -98,6 +259,27 @@ func (m *MultiService) Sync() float64 {
 	return t
 }
 
+// DeviceMetrics returns device i's private registry.
+func (m *MultiService) DeviceMetrics(i int) *metrics.Registry {
+	return m.services[i].Metrics()
+}
+
+// Snapshot returns the aggregated observability view: every device's
+// instruments namespaced "gpu<i>."-prefixed, plus unprefixed aggregate
+// instruments summing the per-device values, plus the merged job-event
+// stream in canonical order (each event exactly once). Deterministic for a
+// deterministic workload, like the per-device snapshots it merges.
+func (m *MultiService) Snapshot() metrics.Snapshot {
+	devs := make([]metrics.Snapshot, len(m.services))
+	parts := make([]metrics.Snapshot, 0, len(m.services)+1)
+	for i, s := range m.services {
+		devs[i] = s.Metrics().Snapshot()
+		parts = append(parts, devs[i].Prefixed(fmt.Sprintf("gpu%d.", i)))
+	}
+	parts = append(parts, metrics.MergeSnapshots(devs...))
+	return metrics.MergeSnapshots(parts...)
+}
+
 // Traces returns the per-device engine timelines (nil entries when tracing
 // is off).
 func (m *MultiService) Traces() []*trace.Log {
@@ -106,6 +288,25 @@ func (m *MultiService) Traces() []*trace.Log {
 		out[i] = s.Trace()
 	}
 	return out
+}
+
+// MergedTrace returns the multi-device timeline: every device's records
+// re-labeled "gpu<i>/<engine>" in one log, so Gantt and Utilization render
+// the whole farm. Returns nil when no device records a trace.
+func (m *MultiService) MergedTrace() *trace.Log {
+	logs := m.Traces()
+	any := false
+	names := make([]string, len(logs))
+	for i, l := range logs {
+		names[i] = fmt.Sprintf("gpu%d", i)
+		if l != nil {
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return trace.Merge(names, logs...)
 }
 
 // multiBackend is the per-VP backend; it simply delegates to the assigned

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/arch"
 	"repro/internal/cudart"
+	"repro/internal/metrics"
+	"repro/internal/sched"
 	"repro/internal/vp"
 )
 
@@ -82,4 +85,191 @@ func TestMultiServiceTraces(t *testing.T) {
 	}
 	// Unregistering an unknown VP is a no-op.
 	m.UnregisterVP(99)
+}
+
+// TestMultiServiceMetricsNamespaced pins the shared-registry collision fix:
+// with two devices doing identical work, per-device counters must stay
+// separate (gpu0./gpu1. namespaces), the unprefixed aggregate must equal
+// their sum, and a caller-supplied Options.Metrics registry must NOT become
+// a shared sink where same-named counters double-count.
+func TestMultiServiceMetricsNamespaced(t *testing.T) {
+	caller := metrics.New()
+	opts := DefaultOptions()
+	opts.Metrics = caller
+	m, err := NewMultiService(opts, []arch.GPU{arch.Quadro4000(), arch.Quadro4000()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := vp.NewFleet(2, arch.ARMVersatile(), func(id int) *cudart.Context {
+		m.RegisterVP(id)
+		return cudart.NewContext(id, m.Backend(id))
+	})
+	if err := fleet.Run(func(v *vp.VP) error {
+		defer m.UnregisterVP(v.ID)
+		return vecAddApp(1<<12, 2)(v)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m.Flush()
+
+	// Round-robin put one VP on each device: both device registries saw work.
+	for i := 0; i < 2; i++ {
+		if got := m.DeviceMetrics(i).Counter("core.jobs_submitted").Value(); got == 0 {
+			t.Errorf("device %d saw no jobs", i)
+		}
+	}
+	snap := m.Snapshot()
+	g0 := snap.CounterValue("gpu0.core.jobs_submitted")
+	g1 := snap.CounterValue("gpu1.core.jobs_submitted")
+	agg := snap.CounterValue("core.jobs_submitted")
+	if g0 == 0 || g1 == 0 {
+		t.Fatalf("namespaced counters missing: gpu0=%d gpu1=%d", g0, g1)
+	}
+	if agg != g0+g1 {
+		t.Fatalf("aggregate %d != gpu0 %d + gpu1 %d", agg, g0, g1)
+	}
+	if len(snap.Events) == 0 {
+		t.Fatal("aggregate snapshot lost the job events")
+	}
+	// The old bug: both devices recorded into the caller's registry, so
+	// same-named counters double-counted. Now the caller registry must be
+	// untouched.
+	if got := caller.Snapshot(); len(got.Counters) != 0 {
+		t.Fatalf("caller-supplied registry was written to: %+v", got.Counters)
+	}
+}
+
+// TestPlacementLeastLoaded checks busy-time scoring: after device 0 accrues
+// work, a new VP lands on the idle device 1.
+func TestPlacementLeastLoaded(t *testing.T) {
+	q := arch.Quadro4000()
+	m, err := NewMultiServicePlaced(DefaultOptions(), []arch.GPU{q, q}, PlaceLeastLoaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load device 0 with a copy job through the deterministic dispatch path.
+	p, err := m.Device(0).GPU.Mem.Alloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.DispatchBatch(0, []*sched.Job{sched.NewH2D(0, 0, p, 0, make([]byte, 1<<20))})
+	if m.Device(0).BusySeconds() <= 0 {
+		t.Fatal("device 0 accrued no busy time")
+	}
+	if _, ok := m.Assignment(7); ok {
+		t.Fatal("vp assigned before first sight")
+	}
+	m.RegisterVP(7)
+	if d, ok := m.Assignment(7); !ok || d != 1 {
+		t.Fatalf("vp placed on device %d (ok=%v), want idle device 1", d, ok)
+	}
+	// With both devices now equal in queue/busy... tie falls to VP count:
+	// device 0 has none assigned, so the next VP goes there.
+	m.Device(1).GPU.ResetClock()
+	m.Device(0).GPU.ResetClock()
+	m.RegisterVP(8)
+	if d, _ := m.Assignment(8); d != 0 {
+		t.Fatalf("tie-break vp placed on device %d, want 0", d)
+	}
+}
+
+// TestPlacementMemAware checks headroom scoring: the device with more free
+// devmem wins, regardless of index order.
+func TestPlacementMemAware(t *testing.T) {
+	q := arch.Quadro4000()
+	opts := DefaultOptions()
+	opts.MemBytes = 1 << 24
+	m, err := NewMultiServicePlaced(opts, []arch.GPU{q, q, q}, PlaceMemAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crowd devices 0 and 2.
+	if _, err := m.Device(0).GPU.Mem.Alloc(1 << 22); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Device(2).GPU.Mem.Alloc(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	m.RegisterVP(1)
+	if d, _ := m.Assignment(1); d != 1 {
+		t.Fatalf("vp placed on device %d, want roomiest device 1", d)
+	}
+	// Equal headroom ties break toward fewer assigned VPs, then index.
+	m2, err := NewMultiServicePlaced(opts, []arch.GPU{q, q}, PlaceMemAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.RegisterVP(0)
+	m2.RegisterVP(1)
+	d0, _ := m2.Assignment(0)
+	d1, _ := m2.Assignment(1)
+	if d0 != 0 || d1 != 1 {
+		t.Fatalf("idle-fleet mem-aware placement %d,%d; want 0,1", d0, d1)
+	}
+}
+
+// TestParsePlacement covers the flag vocabulary.
+func TestParsePlacement(t *testing.T) {
+	cases := map[string]PlacementPolicy{
+		"": PlaceRoundRobin, "rr": PlaceRoundRobin, "round-robin": PlaceRoundRobin,
+		"least-loaded": PlaceLeastLoaded, "load": PlaceLeastLoaded,
+		"mem-aware": PlaceMemAware, "mem": PlaceMemAware,
+	}
+	for in, want := range cases {
+		got, err := ParsePlacement(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePlacement(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParsePlacement("bogus"); err == nil {
+		t.Error("bogus placement accepted")
+	}
+	if PlaceRoundRobin.String() != "round-robin" || PlaceLeastLoaded.String() != "least-loaded" || PlaceMemAware.String() != "mem-aware" {
+		t.Error("policy String() vocabulary drifted")
+	}
+}
+
+// TestMergedTrace checks the multi-device trace view: per-device engine rows
+// appear under gpu<i>/ prefixes and utilization stays in range.
+func TestMergedTrace(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Trace = true
+	m, err := NewMultiService(opts, []arch.GPU{arch.Quadro4000(), arch.Quadro4000()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dev := 0; dev < 2; dev++ {
+		p, err := m.Device(dev).GPU.Mem.Alloc(1 << 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.DispatchBatch(dev, []*sched.Job{sched.NewH2D(dev, dev, p, 0, make([]byte, 1<<16))})
+	}
+	merged := m.MergedTrace()
+	if merged == nil {
+		t.Fatal("merged trace nil with tracing on")
+	}
+	seen := map[string]bool{}
+	for _, r := range merged.Records() {
+		seen[r.Engine] = true
+		if !strings.HasPrefix(r.Engine, "gpu0/") && !strings.HasPrefix(r.Engine, "gpu1/") {
+			t.Fatalf("record engine %q not namespaced", r.Engine)
+		}
+	}
+	if !seen["gpu0/h2d"] || !seen["gpu1/h2d"] {
+		t.Fatalf("merged trace missing per-device rows: %v", seen)
+	}
+	for eng, u := range merged.Utilization() {
+		if u < 0 || u > 1+1e-12 {
+			t.Fatalf("utilization[%s] = %v out of range", eng, u)
+		}
+	}
+	// Tracing off ⇒ no merged view.
+	m2, err := NewMultiService(DefaultOptions(), arch.HostGPUs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.MergedTrace() != nil {
+		t.Fatal("merged trace present with tracing off")
+	}
 }

@@ -367,6 +367,21 @@ func (s *Service) dispatch(batch []*sched.Job) {
 // Sync returns the simulated completion time of all dispatched work.
 func (s *Service) Sync() float64 { return s.GPU.Sync() }
 
+// QueuedJobs returns the number of jobs waiting in the service queue — the
+// queued-work half of the load estimate least-loaded placement scores by.
+func (s *Service) QueuedJobs() int { return s.queue.Len() }
+
+// BusySeconds returns the device's accumulated busy time across all engines
+// (the hostgpu half of the load estimate).
+func (s *Service) BusySeconds() float64 { return s.GPU.BusyTotal() }
+
+// ActiveVPs returns the number of currently registered VPs.
+func (s *Service) ActiveVPs() int {
+	s.regMu.RLock()
+	defer s.regMu.RUnlock()
+	return len(s.order)
+}
+
 // SessionEnergy returns the host GPU's energy over the session (kernel
 // energies plus static power across the simulated span).
 func (s *Service) SessionEnergy() float64 { return s.GPU.SessionEnergy() }

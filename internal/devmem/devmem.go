@@ -16,21 +16,40 @@ import (
 // Ptr is an opaque device pointer.
 type Ptr uint64
 
+// span is one reserved or free region of the device address space.
+type span struct {
+	addr Ptr
+	size Ptr // aligned length in bytes
+}
+
 // Mem is one device's memory. It is safe for concurrent use.
 type Mem struct {
 	mu       sync.Mutex
 	next     Ptr
 	allocs   map[Ptr][]byte
+	reserved map[Ptr]Ptr // ptr → aligned span length in the address space
+	free     []span      // address-sorted, coalesced free regions
 	used     int64
 	capacity int64
 }
 
 // New returns a device memory of the given capacity in bytes.
 func New(capacity int64) *Mem {
-	return &Mem{next: 0x1000, allocs: map[Ptr][]byte{}, capacity: capacity}
+	return &Mem{
+		next:     0x1000,
+		allocs:   map[Ptr][]byte{},
+		reserved: map[Ptr]Ptr{},
+		capacity: capacity,
+	}
 }
 
-// Alloc reserves n bytes and returns the device pointer.
+// alignSpan rounds an allocation up to the address-space granule, keeping
+// allocations aligned and non-overlapping.
+func alignSpan(n int) Ptr { return Ptr((n + 255) &^ 255) }
+
+// Alloc reserves n bytes and returns the device pointer. Address space is
+// reused first-fit from freed regions; the bump pointer only grows when no
+// freed region fits, so a long-running alloc/free churn stays bounded.
 func (m *Mem) Alloc(n int) (Ptr, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("devmem: alloc of %d bytes", n)
@@ -40,15 +59,38 @@ func (m *Mem) Alloc(n int) (Ptr, error) {
 	if m.used+int64(n) > m.capacity {
 		return 0, fmt.Errorf("devmem: out of memory: %d requested, %d free", n, m.capacity-m.used)
 	}
-	p := m.next
-	// Keep allocations aligned and non-overlapping in the address space.
-	m.next += Ptr((n + 255) &^ 255)
+	need := alignSpan(n)
+	var p Ptr
+	fit := -1
+	for i, f := range m.free {
+		if f.size >= need {
+			fit = i
+			break
+		}
+	}
+	if fit >= 0 {
+		f := m.free[fit]
+		p = f.addr
+		if f.size == need {
+			m.free = append(m.free[:fit], m.free[fit+1:]...)
+		} else {
+			m.free[fit] = span{addr: f.addr + need, size: f.size - need}
+		}
+	} else {
+		p = m.next
+		m.next += need
+	}
 	m.allocs[p] = make([]byte, n)
+	m.reserved[p] = need
 	m.used += int64(n)
 	return p, nil
 }
 
-// Free releases the allocation at p.
+// Free releases the allocation at p, returning its address-space span to the
+// free list. Adjacent free regions merge, and a free region that ends at the
+// bump pointer retracts it, so Used() going flat means the address space is
+// flat too (before this, next only ever grew and a malloc/free loop would
+// exhaust the 64-bit space while Used() stayed at zero).
 func (m *Mem) Free(p Ptr) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -58,7 +100,47 @@ func (m *Mem) Free(p Ptr) error {
 	}
 	m.used -= int64(len(b))
 	delete(m.allocs, p)
+	size := m.reserved[p]
+	delete(m.reserved, p)
+	m.insertFree(span{addr: p, size: size})
+	// Retract the bump pointer over a trailing free region.
+	for n := len(m.free); n > 0; n = len(m.free) {
+		tail := m.free[n-1]
+		if tail.addr+tail.size != m.next {
+			break
+		}
+		m.next = tail.addr
+		m.free = m.free[:n-1]
+	}
 	return nil
+}
+
+// insertFree adds a span to the address-sorted free list, merging it with
+// adjacent regions.
+func (m *Mem) insertFree(s span) {
+	i := 0
+	for i < len(m.free) && m.free[i].addr < s.addr {
+		i++
+	}
+	// Merge with the predecessor when contiguous.
+	if i > 0 && m.free[i-1].addr+m.free[i-1].size == s.addr {
+		m.free[i-1].size += s.size
+		// The grown predecessor may now touch the successor.
+		if i < len(m.free) && m.free[i-1].addr+m.free[i-1].size == m.free[i].addr {
+			m.free[i-1].size += m.free[i].size
+			m.free = append(m.free[:i], m.free[i+1:]...)
+		}
+		return
+	}
+	// Merge with the successor when contiguous.
+	if i < len(m.free) && s.addr+s.size == m.free[i].addr {
+		m.free[i].addr = s.addr
+		m.free[i].size += s.size
+		return
+	}
+	m.free = append(m.free, span{})
+	copy(m.free[i+1:], m.free[i:])
+	m.free[i] = s
 }
 
 // Size returns the byte length of the allocation at p.
@@ -77,6 +159,30 @@ func (m *Mem) Used() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.used
+}
+
+// Capacity returns the device memory size in bytes.
+func (m *Mem) Capacity() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.capacity
+}
+
+// Headroom returns the unallocated bytes (capacity − used) — the quantity
+// memory-aware multi-GPU placement scores devices by.
+func (m *Mem) Headroom() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.capacity - m.used
+}
+
+// HighWater returns the bump pointer: the end of the address space ever
+// touched. Under alloc/free churn it stays bounded by the peak working set
+// (the free-list regression tests pin this).
+func (m *Mem) HighWater() Ptr {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.next
 }
 
 // Write copies data into the allocation at p starting at off (an H2D copy).

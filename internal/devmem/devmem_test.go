@@ -211,3 +211,114 @@ func TestBufferFromBytesIgnoresTrailing(t *testing.T) {
 		t.Fatalf("len = %d, want 2", buf.Len())
 	}
 }
+
+// TestChurnKeepsAddressSpaceBounded is the address-space-leak regression: an
+// alloc/free loop must recycle address space instead of bumping the high
+// water forever (before the free list, next only grew while Used() stayed
+// flat, so a long-running service eventually exhausted the address space).
+func TestChurnKeepsAddressSpaceBounded(t *testing.T) {
+	m := New(1 << 30)
+	baseline := m.HighWater()
+	sizes := []int{100, 4096, 257, 1 << 16, 31}
+	for i := 0; i < 10000; i++ {
+		p, err := m.Alloc(sizes[i%len(sizes)])
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if err := m.Free(p); err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+	}
+	if m.Used() != 0 {
+		t.Fatalf("used = %d after churn", m.Used())
+	}
+	// Everything was freed, so the bump pointer must have fully retracted.
+	if hw := m.HighWater(); hw != baseline {
+		t.Fatalf("high water %#x after churn, want baseline %#x", uint64(hw), uint64(baseline))
+	}
+}
+
+// TestChurnWithLiveSetBounded holds a rotating live set while churning:
+// the high water must stay bounded by the peak working set, not grow with
+// the allocation count.
+func TestChurnWithLiveSetBounded(t *testing.T) {
+	m := New(1 << 30)
+	const live = 8
+	var ptrs [live]Ptr
+	for i := 0; i < 5000; i++ {
+		slot := i % live
+		if ptrs[slot] != 0 {
+			if err := m.Free(ptrs[slot]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p, err := m.Alloc(1024 + slot*512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs[slot] = p
+	}
+	// Peak working set ≈ live * max aligned size; allow generous slack for
+	// first-fit fragmentation but far below 5000 distinct bumps.
+	bound := Ptr(0x1000 + 4*live*8192)
+	if hw := m.HighWater(); hw > bound {
+		t.Fatalf("high water %#x exceeds churn bound %#x", uint64(hw), uint64(bound))
+	}
+}
+
+// TestFreeListMergesAdjacent frees neighbors out of order and checks a
+// later allocation spanning their combined extent reuses the merged region.
+func TestFreeListMergesAdjacent(t *testing.T) {
+	m := New(1 << 20)
+	a, _ := m.Alloc(256)
+	b, _ := m.Alloc(256)
+	c, _ := m.Alloc(256)
+	d, _ := m.Alloc(256) // pins the bump pointer past c
+	if err := m.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	// a..c merged into one 768-byte region starting at a.
+	big, err := m.Alloc(700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big != a {
+		t.Fatalf("merged region not reused: got %#x, want %#x", uint64(big), uint64(a))
+	}
+	if err := m.Free(big); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(d); err != nil {
+		t.Fatal(err)
+	}
+	if m.Used() != 0 {
+		t.Fatalf("used = %d", m.Used())
+	}
+}
+
+// TestHeadroomAccounting checks the placement-facing accessors.
+func TestHeadroomAccounting(t *testing.T) {
+	m := New(4096)
+	if m.Capacity() != 4096 || m.Headroom() != 4096 {
+		t.Fatalf("fresh mem: capacity %d headroom %d", m.Capacity(), m.Headroom())
+	}
+	p, err := m.Alloc(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Headroom() != 4096-1000 {
+		t.Fatalf("headroom %d after alloc", m.Headroom())
+	}
+	if err := m.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if m.Headroom() != 4096 {
+		t.Fatalf("headroom %d after free", m.Headroom())
+	}
+}

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/hostgpu"
+	"repro/internal/kernels"
+	"repro/internal/sched"
+)
+
+// multiGPUApps is the mixed workload of the multi-GPU scaling study. Its
+// length is coprime with the device counts {1,2,4}, so round-robin placement
+// deals every device a mix of cheap and expensive applications instead of
+// pinning one application per device.
+var multiGPUApps = []string{"vectorAdd", "BlackScholes", "scalarProd", "reduction", "matrixMul"}
+
+// MultiGPUPoint is one fleet size in the multi-GPU scaling study.
+type MultiGPUPoint struct {
+	Devices     int
+	MakespanSec float64
+	// Speedup is makespan(1 device) / makespan(Devices).
+	Speedup float64
+	// Utilization is each device's compute-engine busy fraction of the
+	// makespan — the load-balance check: a straggler device shows up as a
+	// spread between min and max.
+	Utilization []float64
+}
+
+// MultiGPUResult is the multi-GPU serving study: the same VP fleet and mixed
+// workload served by 1, 2, and 4 host GPUs through a MultiService. The paper
+// multiplexes "the host GPUs" (plural) among VPs; this is the scaling curve
+// that premise buys.
+type MultiGPUResult struct {
+	VPs       int
+	Scale     int
+	Apps      []string
+	Placement string
+	Points    []MultiGPUPoint
+}
+
+// MultiGPUScaling serves nVPs VPs with a mixed workload on each fleet size in
+// devCounts and reports makespan, speedup over one device, and per-device
+// utilization. Deterministic: VPs register in index order, placement is
+// round-robin, and batches are assembled and dispatched in VP order.
+func MultiGPUScaling(nVPs, scale int, devCounts []int) (*MultiGPUResult, error) {
+	if nVPs < 1 {
+		nVPs = 1
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	res := &MultiGPUResult{
+		VPs:       nVPs,
+		Scale:     scale,
+		Apps:      multiGPUApps,
+		Placement: core.PlaceRoundRobin.String(),
+	}
+	benches := make([]*kernels.Benchmark, len(multiGPUApps))
+	for i, name := range multiGPUApps {
+		b, err := kernels.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		benches[i] = b
+	}
+	res.Points = make([]MultiGPUPoint, len(devCounts))
+	err := forEach(len(devCounts), func(i int) error {
+		p, err := multiGPURun(benches, scale, nVPs, devCounts[i])
+		if err != nil {
+			return err
+		}
+		res.Points[i] = *p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range res.Points {
+		res.Points[i].Speedup = res.Points[0].MakespanSec / res.Points[i].MakespanSec
+	}
+	return res, nil
+}
+
+// multiGPURun serves the fleet once on nDev devices and measures the makespan.
+func multiGPURun(benches []*kernels.Benchmark, scale, nVPs, nDev int) (*MultiGPUPoint, error) {
+	opts := core.DefaultOptions()
+	opts.Mode = hostgpu.ExecTimingOnly
+	opts.MemBytes = 1 << 33
+	gpus := make([]arch.GPU, nDev)
+	for i := range gpus {
+		gpus[i] = arch.Quadro4000()
+	}
+	ms, err := core.NewMultiService(opts, gpus)
+	if err != nil {
+		return nil, err
+	}
+
+	// Register in VP order; round-robin placement makes device assignment a
+	// pure function of that order.
+	type vpState struct {
+		dev   int
+		prov  *provisioned
+		bench *kernels.Benchmark
+	}
+	vps := make([]vpState, nVPs)
+	// λ statistics are a property of (kernel, workload), not of the VP or
+	// device, so sample once per benchmark.
+	dynOf := make(map[string]*provisioned)
+	maxIters := 0
+	for id := 0; id < nVPs; id++ {
+		ms.RegisterVP(id)
+		dev, ok := ms.Assignment(id)
+		if !ok {
+			return nil, fmt.Errorf("experiments: vp %d unassigned after registration", id)
+		}
+		bench := benches[id%len(benches)]
+		w := bench.MakeWorkload(scale)
+		p, err := provision(ms.Device(dev).GPU, bench, w)
+		if err != nil {
+			return nil, err
+		}
+		if bench.Prog.NeedsDynamicProfile() {
+			if ref, ok := dynOf[bench.Name]; ok {
+				p.launch.Dyn = ref.launch.Dyn
+			} else {
+				env, err := buildWorkloadEnv(bench, w)
+				if err != nil {
+					return nil, err
+				}
+				st, err := bench.Kernel.SampleStats(env, 32)
+				if err != nil {
+					return nil, err
+				}
+				p.launch.Dyn = st
+				dynOf[bench.Name] = p
+			}
+		}
+		vps[id] = vpState{dev: dev, prov: p, bench: bench}
+		if bench.Iterations > maxIters {
+			maxIters = bench.Iterations
+		}
+	}
+
+	// Lock-step iteration loop, mirroring the VP Control batching predicate:
+	// each round collects every still-running VP's job burst, split by owning
+	// device, and each device re-schedules its own batch.
+	for it := 0; it < maxIters; it++ {
+		batches := make([][]*sched.Job, nDev)
+		for id, v := range vps {
+			if it >= v.bench.Iterations {
+				continue
+			}
+			copyIn := v.bench.CopyEachIteration || it == 0
+			copyOut := v.bench.CopyEachIteration || it == v.bench.Iterations-1
+			batches[v.dev] = append(batches[v.dev], v.prov.phaseJobs(id, copyIn, copyOut)...)
+		}
+		for dev, batch := range batches {
+			if len(batch) > 0 {
+				ms.DispatchBatch(dev, batch)
+			}
+		}
+	}
+	for id := 0; id < nVPs; id++ {
+		ms.UnregisterVP(id)
+	}
+
+	pt := &MultiGPUPoint{Devices: nDev, MakespanSec: ms.Sync(), Utilization: make([]float64, nDev)}
+	if pt.MakespanSec > 0 {
+		for i := 0; i < nDev; i++ {
+			pt.Utilization[i] = ms.Device(i).GPU.BusySeconds(hostgpu.EngineCompute) / pt.MakespanSec
+		}
+	}
+	return pt, nil
+}
+
+func (r *MultiGPUResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Multi-GPU serving: %d VPs, mixed workload (%s), %s placement\n",
+		r.VPs, strings.Join(r.Apps, ", "), r.Placement)
+	fmt.Fprintf(&b, "%8s %14s %9s   %s\n", "devices", "makespan (s)", "speedup", "per-device compute utilization")
+	for _, p := range r.Points {
+		var u []string
+		for _, f := range p.Utilization {
+			u = append(u, fmt.Sprintf("%.2f", f))
+		}
+		fmt.Fprintf(&b, "%8d %14.4f %8.2fx   [%s]\n", p.Devices, p.MakespanSec, p.Speedup, strings.Join(u, " "))
+	}
+	return b.String()
+}
+
+// JSON renders the study in the BENCH artifact shape.
+func (r *MultiGPUResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/cudart"
+	"repro/internal/devmem"
+	"repro/internal/ipc"
+	"repro/internal/kernels"
+)
+
+// TestMultiGPUScalingShape pins the acceptance property of the multi-GPU
+// serving study: for the 16-VP mixed workload, four devices must beat one by
+// at least 2.5x, makespan must shrink monotonically with fleet size, and
+// every device must do real work (no straggler starves).
+func TestMultiGPUScalingShape(t *testing.T) {
+	r, err := MultiGPUScaling(16, 8, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for i, p := range r.Points {
+		if p.MakespanSec <= 0 {
+			t.Fatalf("%d devices: non-positive makespan %v", p.Devices, p.MakespanSec)
+		}
+		if i > 0 && p.MakespanSec >= r.Points[i-1].MakespanSec {
+			t.Errorf("makespan not monotone: %d devices %.6f >= %d devices %.6f",
+				p.Devices, p.MakespanSec, r.Points[i-1].Devices, r.Points[i-1].MakespanSec)
+		}
+		if len(p.Utilization) != p.Devices {
+			t.Fatalf("%d devices: %d utilization entries", p.Devices, len(p.Utilization))
+		}
+		for d, u := range p.Utilization {
+			if u <= 0 || u > 1+1e-12 {
+				t.Errorf("%d devices: device %d utilization %v out of (0,1]", p.Devices, d, u)
+			}
+		}
+	}
+	if got := r.Points[2].Speedup; got < 2.5 {
+		t.Errorf("4-device speedup %.2fx < 2.5x acceptance threshold", got)
+	}
+	t.Logf("\n%s", r.String())
+}
+
+// TestMultiGPUScalingDeterministic re-runs one study point and compares the
+// JSON artifact byte-for-byte: registration order fixes placement, and the
+// lock-step dispatch loop fixes everything downstream.
+func TestMultiGPUScalingDeterministic(t *testing.T) {
+	a, err := MultiGPUScaling(8, 4, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MultiGPUScaling(8, 4, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("repeat run diverged:\n--- a\n%s\n--- b\n%s", aj, bj)
+	}
+}
+
+// multiRemoteRun serves a two-device MultiService over TCP and drives four
+// VPs through it sequentially, returning every artifact multi-device
+// determinism is judged on: the VPs' device assignments, their concatenated
+// D2H bytes, the aggregated metrics snapshot, and the merged trace.
+//
+// VPs run one after another (each fully closed before the next dials) because
+// the property under test is the serving stack, not client scheduling: with a
+// fixed registration order the placement, and hence every downstream byte,
+// must not depend on codec or worker-pool size.
+func multiRemoteRun(t *testing.T, codecName string, workers int) (assign string, d2h, metricsJSON, traceJSON []byte) {
+	t.Helper()
+	opts := core.DefaultOptions()
+	opts.Workers = workers
+	opts.Trace = true
+	ms, err := core.NewMultiService(opts, []arch.GPU{arch.Quadro4000(), arch.Quadro4000()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ipc.ServeEndpoint(l, ms)
+	defer srv.Close()
+	codec, err := ipc.ParseCodec(codecName)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bench, err := kernels.Get("vectorAdd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bench.MakeWorkload(1)
+
+	var devs []int
+	var out bytes.Buffer
+	for vpID := 1; vpID <= 4; vpID++ {
+		client, err := ipc.DialWithOptions(srv.Addr().String(), vpID, ipc.DialOptions{Codec: codec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := cudart.NewContext(vpID, cudart.NewRemoteBackend(client))
+		launch := bench.NewLaunch(w)
+		launch.Bindings = map[string]devmem.Ptr{}
+		for _, decl := range bench.Kernel.Bufs {
+			ptr, err := ctx.Malloc(w.BufBytes[decl.Name])
+			if err != nil {
+				t.Fatalf("vp %d malloc %s: %v", vpID, decl.Name, err)
+			}
+			launch.Bindings[decl.Name] = ptr
+		}
+		for name, data := range w.Inputs {
+			if err := ctx.MemcpyH2D(launch.Bindings[name], data); err != nil {
+				t.Fatalf("vp %d h2d %s: %v", vpID, name, err)
+			}
+		}
+		if err := ctx.LaunchKernelAsync(0, launch); err != nil {
+			t.Fatalf("vp %d launch: %v", vpID, err)
+		}
+		if err := ctx.DeviceSynchronize(); err != nil {
+			t.Fatalf("vp %d sync: %v", vpID, err)
+		}
+		outBuf := bench.Kernel.Bufs[len(bench.Kernel.Bufs)-1].Name
+		res, err := ctx.MemcpyD2H(launch.Bindings[outBuf], int(w.BufBytes[outBuf]))
+		if err != nil {
+			t.Fatalf("vp %d d2h: %v", vpID, err)
+		}
+		out.Write(res)
+		if err := ctx.Close(); err != nil {
+			t.Fatalf("vp %d close: %v", vpID, err)
+		}
+		if err := client.Close(); err != nil {
+			t.Fatalf("vp %d client close: %v", vpID, err)
+		}
+		dev, ok := ms.Assignment(vpID)
+		if !ok {
+			t.Fatalf("vp %d never assigned", vpID)
+		}
+		devs = append(devs, dev)
+		// The server tears the VP down from the connection goroutine; wait
+		// for it so the next VP registers against a settled service and the
+		// teardown events land in a fixed order.
+		deadline := time.Now().Add(5 * time.Second)
+		for ms.ActiveVPs() != 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("vp %d still registered after close", vpID)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	metricsJSON, err = ms.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := ms.MergedTrace()
+	if merged == nil {
+		t.Fatal("no merged trace with tracing on")
+	}
+	traceJSON, err = json.Marshal(merged.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprint(devs), out.Bytes(), metricsJSON, traceJSON
+}
+
+// TestMultiDeviceRemoteDeterminism is the multi-GPU half of the determinism
+// contract: with a fixed VP registration order, the placement decisions, D2H
+// payloads, aggregated metrics snapshot, and merged trace are byte-identical
+// across wire codecs and worker-pool sizes.
+func TestMultiDeviceRemoteDeterminism(t *testing.T) {
+	type run struct {
+		codec   string
+		workers int
+	}
+	runs := []run{
+		{"gob", 1},
+		{"binary", 1},
+		{"binary", 4},
+		{"gob", 4},
+	}
+	refAssign, refD2H, refMetrics, refTrace := multiRemoteRun(t, runs[0].codec, runs[0].workers)
+	if refAssign != "[0 1 0 1]" {
+		t.Fatalf("round-robin placement of VPs 1..4 = %s, want [0 1 0 1]", refAssign)
+	}
+	if len(refD2H) == 0 {
+		t.Fatal("reference run produced no output bytes")
+	}
+	if len(refTrace) <= len("[]") {
+		t.Fatal("reference run produced no trace records")
+	}
+	for _, r := range runs[1:] {
+		name := fmt.Sprintf("%s/workers=%d", r.codec, r.workers)
+		assign, d2h, metricsJSON, traceJSON := multiRemoteRun(t, r.codec, r.workers)
+		if assign != refAssign {
+			t.Errorf("%s: placement %s differs from reference %s", name, assign, refAssign)
+		}
+		if !bytes.Equal(d2h, refD2H) {
+			t.Errorf("%s: D2H bytes differ from reference", name)
+		}
+		if !bytes.Equal(metricsJSON, refMetrics) {
+			t.Errorf("%s: metrics snapshot differs:\n--- ref\n%s\n--- got\n%s", name, refMetrics, metricsJSON)
+		}
+		if !bytes.Equal(traceJSON, refTrace) {
+			t.Errorf("%s: merged trace differs:\n--- ref\n%s\n--- got\n%s", name, refTrace, traceJSON)
+		}
+	}
+}

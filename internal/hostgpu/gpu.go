@@ -547,6 +547,15 @@ func (g *GPU) BusySeconds(engine string) float64 {
 	return g.busy[engine]
 }
 
+// BusyTotal returns the accumulated busy time summed across every engine —
+// the device-load estimate least-loaded multi-GPU placement scores by. The
+// sum walks engines in a fixed order so the float64 total is deterministic.
+func (g *GPU) BusyTotal() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.busy[EngineH2D] + g.busy[EngineD2H] + g.busy[EngineCompute]
+}
+
 // ResetClock rewinds the simulated clock to zero without touching device
 // memory, starting a fresh measurement window.
 func (g *GPU) ResetClock() {

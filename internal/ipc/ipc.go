@@ -198,6 +198,25 @@ func Serve(l net.Listener, h Handler) *Server {
 	return ServeWithHooks(l, h, nil, nil)
 }
 
+// Endpoint is the host-service surface the transport needs: request handling
+// plus the VP lifecycle hooks. Both the single-device core.Service and the
+// multi-GPU core.MultiService implement it, so one serving path covers both.
+type Endpoint interface {
+	Handle(vp int, req any) any
+	RegisterVP(id int)
+	DisconnectVP(id int)
+}
+
+// ServeEndpoint serves an endpoint with its lifecycle hooks wired the way a
+// daemon wants them: RegisterVP on a VP's first hello (where a multi-GPU
+// service decides the device assignment, invisibly to the client) and
+// DisconnectVP — not UnregisterVP — when its last connection dies, so a VP
+// that vanishes mid-batch has its orphaned jobs cancelled instead of wedging
+// the batching predicate.
+func ServeEndpoint(l net.Listener, ep Endpoint) *Server {
+	return ServeWithHooks(l, ep.Handle, ep.RegisterVP, ep.DisconnectVP)
+}
+
 // ServeWithHooks additionally invokes the callbacks when a VP's first
 // connection opens and its last connection closes — the host service uses
 // them to register VPs with the VP-control batching logic and to cancel a

@@ -271,6 +271,101 @@ func (s Snapshot) JSON() ([]byte, error) {
 	return json.MarshalIndent(s, "", "  ")
 }
 
+// Prefixed returns a copy of the snapshot with every instrument renamed
+// prefix+name — the namespacing the multi-GPU service uses to keep one
+// device's counters from colliding with another's ("gpu0.hostgpu.ops.compute"
+// vs "gpu1.…"). Events carry no instrument name and are dropped: a merged
+// view takes its event stream from the unprefixed aggregate so each event
+// appears exactly once.
+func (s Snapshot) Prefixed(prefix string) Snapshot {
+	out := Snapshot{
+		Counters:   make([]CounterSnap, len(s.Counters)),
+		Gauges:     make([]GaugeSnap, len(s.Gauges)),
+		Histograms: make([]HistogramSnap, len(s.Histograms)),
+	}
+	for i, c := range s.Counters {
+		out.Counters[i] = CounterSnap{Name: prefix + c.Name, Value: c.Value}
+	}
+	for i, g := range s.Gauges {
+		out.Gauges[i] = GaugeSnap{Name: prefix + g.Name, Value: g.Value}
+	}
+	for i, h := range s.Histograms {
+		hs := HistogramSnap{
+			Name: prefix + h.Name, Overflow: h.Overflow, Count: h.Count, Sum: h.Sum,
+			Buckets: append([]BucketSnap(nil), h.Buckets...),
+		}
+		out.Histograms[i] = hs
+	}
+	return out
+}
+
+// MergeSnapshots combines snapshots into one deterministic view: same-named
+// counters and gauges sum, same-named histograms merge bucket-wise (bucket
+// layouts are required to match, which they do for instruments created by the
+// same code path; on a mismatch the first layout wins and only Count/Sum/
+// Overflow accumulate), and the event streams concatenate and re-sort into
+// the canonical order. Input order therefore never reaches the output.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	counters := map[string]int64{}
+	gauges := map[string]int64{}
+	hists := map[string]*HistogramSnap{}
+	var out Snapshot
+	for _, s := range snaps {
+		for _, c := range s.Counters {
+			counters[c.Name] += c.Value
+		}
+		for _, g := range s.Gauges {
+			gauges[g.Name] += g.Value
+		}
+		for _, h := range s.Histograms {
+			m, ok := hists[h.Name]
+			if !ok {
+				cp := h
+				cp.Buckets = append([]BucketSnap(nil), h.Buckets...)
+				hists[h.Name] = &cp
+				continue
+			}
+			m.Count += h.Count
+			m.Sum += h.Sum
+			m.Overflow += h.Overflow
+			if len(m.Buckets) == len(h.Buckets) {
+				same := true
+				for i := range m.Buckets {
+					if m.Buckets[i].LE != h.Buckets[i].LE {
+						same = false
+						break
+					}
+				}
+				if same {
+					for i := range m.Buckets {
+						m.Buckets[i].Count += h.Buckets[i].Count
+					}
+				}
+			}
+		}
+		out.Events = append(out.Events, s.Events...)
+	}
+	for name, v := range counters {
+		out.Counters = append(out.Counters, CounterSnap{Name: name, Value: v})
+	}
+	for name, v := range gauges {
+		out.Gauges = append(out.Gauges, GaugeSnap{Name: name, Value: v})
+	}
+	for name, h := range hists {
+		hs := *h
+		hs.Name = name
+		out.Histograms = append(out.Histograms, hs)
+	}
+	sort.Slice(out.Counters, func(i, j int) bool { return out.Counters[i].Name < out.Counters[j].Name })
+	sort.Slice(out.Gauges, func(i, j int) bool { return out.Gauges[i].Name < out.Gauges[j].Name })
+	sort.Slice(out.Histograms, func(i, j int) bool { return out.Histograms[i].Name < out.Histograms[j].Name })
+	sort.SliceStable(out.Events, func(i, j int) bool { return out.Events[i].less(out.Events[j]) })
+	if len(out.Events) == 0 {
+		out.Events = nil
+	}
+	return out
+}
+
 // CounterValue returns the named counter's value in the snapshot, 0 if absent
 // (convenience for report summaries).
 func (s Snapshot) CounterValue(name string) int64 {

@@ -68,6 +68,33 @@ func (l *Log) Records() []Record {
 	return out
 }
 
+// Merge combines several per-device logs into one multi-device view. Each
+// log's records are re-labeled with its name ("gpu0/compute", "gpu1/h2d"…)
+// so per-device rows stay distinct in Gantt charts and Utilization. Nil logs
+// (devices with tracing off) are skipped; names beyond the logs slice (or an
+// empty name) fall back to a positional "gpuN" label. The merged log is a
+// deep copy — mutating it never touches the sources.
+func Merge(names []string, logs ...*Log) *Log {
+	out := New()
+	for i, l := range logs {
+		if l == nil {
+			continue
+		}
+		name := ""
+		if i < len(names) {
+			name = names[i]
+		}
+		if name == "" {
+			name = fmt.Sprintf("gpu%d", i)
+		}
+		for _, r := range l.Records() {
+			r.Engine = name + "/" + r.Engine
+			out.Add(r)
+		}
+	}
+	return out
+}
+
 // Reset clears the log.
 func (l *Log) Reset() {
 	l.mu.Lock()
