@@ -2,7 +2,9 @@ package repro
 
 import (
 	"flag"
+	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"repro/internal/arch"
@@ -197,6 +199,36 @@ func BenchmarkMultiGPUScaling(b *testing.B) {
 		}
 	}
 	b.ReportMetric(minU, "4dev-min-utilization")
+}
+
+// BenchmarkMultiServiceWallClock measures the host time of the 4-device
+// MultiGPUScaling study point across the two axes pipelined execution is
+// about: GOMAXPROCS (can the host run devices concurrently) × pipeline (does
+// the farm try to). On a multi-core host, gomaxprocs=4/pipeline=true must
+// beat gomaxprocs=4/pipeline=false by roughly the device count; the
+// gomaxprocs=1 rows pin single-core behavior (pipelining must not slow a
+// serial host beyond scheduling noise). Simulated results are identical in
+// all four cells — TestMultiGPUScalingPipelineEquivalence pins that
+// byte-for-byte.
+func BenchmarkMultiServiceWallClock(b *testing.B) {
+	for _, procs := range []int{1, 4} {
+		for _, pipeline := range []bool{false, true} {
+			name := fmt.Sprintf("gomaxprocs=%d/pipeline=%v", procs, pipeline)
+			b.Run(name, func(b *testing.B) {
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r, err := experiments.MultiGPUScalingOpt(16, 8, []int{4}, pipeline)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if r.Points[0].MakespanSec <= 0 {
+						b.Fatal("no simulated time elapsed")
+					}
+				}
+			})
+		}
+	}
 }
 
 // --- Ablation benchmarks for the design choices DESIGN.md calls out: the

@@ -21,7 +21,7 @@
 //
 // Usage:
 //
-//	sigmavpd [-listen 127.0.0.1:7075] [-http ADDR] [-arch quadro|k520|tegra] [-gpus N|LIST] [-placement POLICY] [-baseline]
+//	sigmavpd [-listen 127.0.0.1:7075] [-http ADDR] [-arch quadro|k520|tegra] [-gpus N|LIST] [-placement POLICY] [-baseline] [-pipeline=false]
 package main
 
 import (
@@ -52,6 +52,7 @@ func main() {
 	gpusFlag := flag.String("gpus", "", "serve multiple host GPUs: a device count (of -arch) or a comma-separated preset list; empty = single device")
 	placementName := flag.String("placement", "round-robin", "multi-GPU placement policy: round-robin, least-loaded, or mem-aware")
 	baseline := flag.Bool("baseline", false, "disable the optimizations (serialized dispatch)")
+	pipeline := flag.Bool("pipeline", true, "per-device execution pipelines: devices simulate concurrently in wall clock (off = synchronous dispatch, for bisection)")
 	grace := flag.Duration("grace", 5*time.Second, "shutdown grace period for in-flight requests")
 	metricsOut := flag.String("metrics-out", "", "write a final metrics snapshot (JSON) to this file on shutdown")
 	flag.Parse()
@@ -67,6 +68,7 @@ func main() {
 		opts.Policy = sched.PolicyFIFO
 		opts.Coalesce = false
 	}
+	opts.Pipeline = *pipeline
 	if *httpAddr != "" {
 		// /trace is only useful with the timeline recorder on.
 		opts.Trace = true
@@ -75,18 +77,22 @@ func main() {
 	// Both serving shapes collapse onto one ipc.Endpoint plus snapshot and
 	// trace accessors; everything below this block is shape-agnostic.
 	var (
-		ep      ipc.Endpoint
-		snap    func() metrics.Snapshot
-		traceOf func() *trace.Log
-		syncOf  func() float64
-		banner  string
+		ep       ipc.Endpoint
+		snap     func() metrics.Snapshot
+		execSnap func() metrics.Snapshot
+		traceOf  func() *trace.Log
+		syncOf   func() float64
+		closer   func()
+		banner   string
 	)
 	if *gpusFlag == "" {
 		svc := core.NewService(opts)
 		ep = svc
-		snap = func() metrics.Snapshot { return svc.Metrics().Snapshot() }
+		snap = svc.Snapshot
+		execSnap = func() metrics.Snapshot { return svc.ExecMetrics().Snapshot() }
 		traceOf = svc.Trace
 		syncOf = svc.Sync
+		closer = svc.Close
 		banner = opts.Arch.Name
 	} else {
 		gpus, err := parseGPUs(*gpusFlag, hostArch)
@@ -106,8 +112,10 @@ func main() {
 		}
 		ep = ms
 		snap = ms.Snapshot
+		execSnap = ms.ExecSnapshot
 		traceOf = ms.MergedTrace
 		syncOf = ms.Sync
+		closer = ms.Close
 		names := make([]string, len(gpus))
 		for i, g := range gpus {
 			names[i] = g.Name
@@ -129,8 +137,12 @@ func main() {
 	// into the served and final snapshots.
 	transport := metrics.New()
 	srv.SetMetrics(transport)
+	// The served snapshot also carries the executor-health counters
+	// (core.exec.* queue depth, batches, enqueue stalls), so farm saturation
+	// is observable remotely; like the transport counters they live outside
+	// the simulated-work registry.
 	fullSnap := func() metrics.Snapshot {
-		return metrics.MergeSnapshots(snap(), transport.Snapshot())
+		return metrics.MergeSnapshots(snap(), execSnap(), transport.Snapshot())
 	}
 	fmt.Printf("sigmavpd: serving %s on %s (optimizations %v)\n", banner, srv.Addr(), !*baseline)
 
@@ -150,7 +162,7 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
 	fmt.Printf("sigmavpd: %v: draining (grace %v)\n", s, *grace)
-	if err := shutdown(srv, obs, fullSnap, *grace, *metricsOut); err != nil {
+	if err := shutdown(srv, obs, closer, fullSnap, *grace, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "sigmavpd: shutdown:", err)
 		os.Exit(1)
 	}
@@ -187,13 +199,16 @@ func parseGPUs(spec string, def arch.GPU) ([]arch.GPU, error) {
 // snapshot flushed. Before this sequence existed the daemon died mid-frame
 // on SIGINT, which clients observed as a decode error instead of a clean
 // disconnect.
-func shutdown(srv *ipc.Server, obs *http.Server, snap func() metrics.Snapshot, grace time.Duration, metricsOut string) error {
+func shutdown(srv *ipc.Server, obs *http.Server, closer func(), snap func() metrics.Snapshot, grace time.Duration, metricsOut string) error {
 	if obs != nil {
 		obs.Close()
 	}
 	if err := srv.Shutdown(grace); err != nil {
 		return err
 	}
+	// Stop the execution pipelines after the last request drains, before the
+	// final snapshot, so every batch's accounting is in it.
+	closer()
 	if metricsOut == "" {
 		return nil
 	}

@@ -44,7 +44,7 @@ func TestGracefulShutdown(t *testing.T) {
 
 	out := filepath.Join(t.TempDir(), "metrics.json")
 	snapFn := func() metrics.Snapshot { return svc.Metrics().Snapshot() }
-	if err := shutdown(srv, nil, snapFn, 2*time.Second, out); err != nil {
+	if err := shutdown(srv, nil, svc.Close, snapFn, 2*time.Second, out); err != nil {
 		t.Fatal(err)
 	}
 
@@ -169,7 +169,7 @@ func TestMultiGPUDaemon(t *testing.T) {
 	transport := metrics.New()
 	srv.SetMetrics(transport)
 	fullSnap := func() metrics.Snapshot {
-		return metrics.MergeSnapshots(ms.Snapshot(), transport.Snapshot())
+		return metrics.MergeSnapshots(ms.Snapshot(), ms.ExecSnapshot(), transport.Snapshot())
 	}
 	mux := buildMux(fullSnap, ms.MergedTrace)
 
@@ -212,6 +212,12 @@ func TestMultiGPUDaemon(t *testing.T) {
 	if snap.CounterValue("ipc.server.requests") == 0 {
 		t.Fatal("transport counters missing from merged snapshot")
 	}
+	if snap.CounterValue("core.exec.batches") == 0 {
+		t.Fatal("executor-health counters missing from merged snapshot")
+	}
+	if g0, g1 := snap.CounterValue("gpu0.core.exec.batches"), snap.CounterValue("gpu1.core.exec.batches"); g0 == 0 || g1 == 0 {
+		t.Fatalf("per-device executor counters missing: gpu0=%d gpu1=%d", g0, g1)
+	}
 
 	rec = httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/trace", nil))
@@ -232,7 +238,7 @@ func TestMultiGPUDaemon(t *testing.T) {
 	}
 
 	out := filepath.Join(t.TempDir(), "metrics.json")
-	if err := shutdown(srv, nil, fullSnap, 2*time.Second, out); err != nil {
+	if err := shutdown(srv, nil, ms.Close, fullSnap, 2*time.Second, out); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(out); err != nil {

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+// ExecQueueDepth is the bound of each device executor's batch queue. One
+// entry would already overlap guest submission with device simulation; a few
+// entries absorb submitter jitter (a burst of small batches) without letting
+// a fast guest run unboundedly ahead of the simulated clock — memory stays
+// bounded and backpressure reaches the submitter within a handful of batches.
+// Enqueueing past the bound blocks and counts an enqueue stall.
+const ExecQueueDepth = 4
+
+// execBatch is one unit of work handed to a Service's execution pipeline.
+type execBatch struct {
+	jobs []*sched.Job
+	// raw selects the experiments' externally-assembled path (plan + run,
+	// no service accounting) instead of the full dispatch.
+	raw bool
+	// done is closed once the batch has fully retired: every job ran and all
+	// dispatch accounting landed in the registry.
+	done chan struct{}
+}
+
+// executor is a Service's execution pipeline: one goroutine that consumes
+// drained batches from a bounded queue and runs them against the device
+// model. It is what lets guest submission overlap device simulation, and
+// what lets an N-device MultiService simulate N devices concurrently in wall
+// clock — each device's simulated clock, metrics registry, and trace log are
+// private to its executor goroutine, so no cross-device synchronization is
+// needed until a merge point (Sync/Snapshot/Traces) drains the pipelines.
+//
+// Health counters (queue depth, batches, enqueue stalls) go to their own
+// registry, NOT the service's simulated-work registry: executor load is a
+// wall-clock property of the host, and keeping it separate is what keeps
+// pipeline-on and pipeline-off snapshots byte-identical.
+type executor struct {
+	ch chan execBatch
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inflight int // batches enqueued (or pending enqueue) but not yet retired
+	closed   bool
+
+	reg *metrics.Registry
+}
+
+// newExecutor starts a service's pipeline goroutine.
+func newExecutor(s *Service, reg *metrics.Registry) *executor {
+	e := &executor{ch: make(chan execBatch, ExecQueueDepth), reg: reg}
+	e.cond = sync.NewCond(&e.mu)
+	go e.run(s)
+	return e
+}
+
+// run is the executor goroutine: it owns every touch of the service's device
+// model, so batches execute exactly as the synchronous path would — same
+// order, same coalescing, same planner state — just off the submitter's
+// goroutine.
+func (e *executor) run(s *Service) {
+	for b := range e.ch {
+		if b.raw {
+			s.runRaw(b.jobs)
+		} else {
+			s.dispatch(b.jobs)
+		}
+		e.reg.Gauge("core.exec.queue_depth").Set(int64(len(e.ch)))
+		e.mu.Lock()
+		e.inflight--
+		if e.inflight == 0 {
+			e.cond.Broadcast()
+		}
+		e.mu.Unlock()
+		close(b.done)
+	}
+}
+
+// enqueue hands a batch to the pipeline, blocking for backpressure when the
+// bounded queue is full. It returns false — without having enqueued — when
+// the executor is closed; the caller must then dispatch synchronously.
+// Callers serialize through Service.dispatchMu, which preserves the
+// drain-order = execution-order invariant.
+func (e *executor) enqueue(b execBatch) bool {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return false
+	}
+	// Count the batch before the channel send: a drain must not slip past a
+	// batch that is accepted but still waiting for a queue slot.
+	e.inflight++
+	e.mu.Unlock()
+
+	e.reg.Counter("core.exec.batches").Inc()
+	select {
+	case e.ch <- b:
+	default:
+		e.reg.Counter("core.exec.enqueue_stalls").Inc()
+		start := time.Now()
+		e.ch <- b
+		e.reg.Counter("core.exec.stall_wait_ns").Add(time.Since(start).Nanoseconds())
+	}
+	e.reg.Gauge("core.exec.queue_depth").Set(int64(len(e.ch)))
+	return true
+}
+
+// drain blocks until every batch enqueued so far has fully retired — the
+// barrier behind Sync, Flush, Snapshot, Trace merges, and VP disconnects.
+func (e *executor) drain() {
+	e.mu.Lock()
+	for e.inflight > 0 {
+		e.cond.Wait()
+	}
+	e.mu.Unlock()
+}
+
+// close drains the pipeline and stops the goroutine. Further enqueues are
+// refused (the service falls back to synchronous dispatch). Idempotent.
+func (e *executor) close() {
+	e.mu.Lock()
+	for e.inflight > 0 {
+		e.cond.Wait()
+	}
+	if !e.closed {
+		e.closed = true
+		close(e.ch)
+	}
+	e.mu.Unlock()
+}

@@ -6,7 +6,6 @@ import (
 	"sync"
 
 	"repro/internal/arch"
-	"repro/internal/coalesce"
 	"repro/internal/cudart"
 	"repro/internal/devmem"
 	"repro/internal/hostgpu"
@@ -242,10 +241,29 @@ func (m *MultiService) Backend(vp int) *multiBackend {
 	return &multiBackend{s: m.serviceFor(vp), vp: vp}
 }
 
-// Flush drains every device.
+// Flush drains every device. All devices are fed first and only then
+// awaited, so with pipelining a farm flush simulates the devices
+// concurrently in wall clock instead of one after another.
 func (m *MultiService) Flush() {
 	for _, s := range m.services {
-		s.Flush()
+		s.FlushAsync()
+	}
+	for _, s := range m.services {
+		s.Drain()
+	}
+}
+
+// Drain waits for every device's execution pipeline to retire its batches.
+func (m *MultiService) Drain() {
+	for _, s := range m.services {
+		s.Drain()
+	}
+}
+
+// Close drains and stops every device's execution pipeline.
+func (m *MultiService) Close() {
+	for _, s := range m.services {
+		s.Close()
 	}
 }
 
@@ -270,10 +288,26 @@ func (m *MultiService) DeviceMetrics(i int) *metrics.Registry {
 // stream in canonical order (each event exactly once). Deterministic for a
 // deterministic workload, like the per-device snapshots it merges.
 func (m *MultiService) Snapshot() metrics.Snapshot {
+	m.Drain()
 	devs := make([]metrics.Snapshot, len(m.services))
 	parts := make([]metrics.Snapshot, 0, len(m.services)+1)
 	for i, s := range m.services {
 		devs[i] = s.Metrics().Snapshot()
+		parts = append(parts, devs[i].Prefixed(fmt.Sprintf("gpu%d.", i)))
+	}
+	parts = append(parts, metrics.MergeSnapshots(devs...))
+	return metrics.MergeSnapshots(parts...)
+}
+
+// ExecSnapshot returns the farm's executor-health view: each device's
+// pipeline counters (queue depth, batches, enqueue stalls) "gpu<i>."-prefixed
+// plus an unprefixed aggregate — kept apart from Snapshot so the simulated
+// metrics stay byte-identical with pipelining on or off.
+func (m *MultiService) ExecSnapshot() metrics.Snapshot {
+	devs := make([]metrics.Snapshot, len(m.services))
+	parts := make([]metrics.Snapshot, 0, len(m.services)+1)
+	for i, s := range m.services {
+		devs[i] = s.ExecMetrics().Snapshot()
 		parts = append(parts, devs[i].Prefixed(fmt.Sprintf("gpu%d.", i)))
 	}
 	parts = append(parts, metrics.MergeSnapshots(devs...))
@@ -348,16 +382,10 @@ func (b *multiBackend) Close() error { return nil }
 
 // DispatchBatch runs one externally-assembled batch against a specific
 // device — the deterministic path the experiments use. Jobs must belong to
-// VPs assigned to that device.
+// VPs assigned to that device. With pipelining the batch is enqueued to the
+// device's executor and DispatchBatch returns immediately; Sync (or Drain)
+// is the completion barrier, so feeding all devices before syncing simulates
+// them concurrently.
 func (m *MultiService) DispatchBatch(device int, batch []*sched.Job) {
-	s := m.services[device]
-	if s.opts.Coalesce {
-		batch = coalesce.Apply(s.GPU, batch)
-	}
-	for _, j := range sched.Plan(batch, s.opts.Policy) {
-		err := j.Run(s.GPU)
-		if !j.Done() {
-			j.Finish(err)
-		}
-	}
+	m.services[device].DispatchRaw(batch)
 }

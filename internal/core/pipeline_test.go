@@ -1,0 +1,121 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/cudart"
+	"repro/internal/hostgpu"
+	"repro/internal/sched"
+	"repro/internal/vp"
+)
+
+// pipelineSnapshot drives three sequential VP sessions with the pipeline
+// toggled and returns the makespan plus the simulated-work snapshot bytes.
+// Sessions are sequential because live goroutine-driven fleets race batch
+// boundaries against wall clock in either mode; deterministic multi-VP
+// equivalence is pinned by the experiments-level lock-step tests.
+func pipelineSnapshot(t *testing.T, pipeline bool) (float64, []byte) {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Pipeline = pipeline
+	s := NewService(opts)
+	defer s.Close()
+	for id := 1; id <= 3; id++ {
+		s.RegisterVP(id)
+		v := vp.New(id, arch.ARMVersatile(), cudart.NewContext(id, s.Backend(id)))
+		if err := v.Run(s.WrapApp(vecAddApp(256*id, 2))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Flush()
+	data, err := s.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Sync(), data
+}
+
+// TestPipelineEquivalence is the tentpole's core guarantee: the execution
+// pipeline changes wall-clock behavior only. Simulated makespan and the full
+// metrics snapshot (counters, histograms, job events) are byte-identical
+// with the executor on or off.
+func TestPipelineEquivalence(t *testing.T) {
+	syncT, syncSnap := pipelineSnapshot(t, false)
+	pipeT, pipeSnap := pipelineSnapshot(t, true)
+	if syncT != pipeT {
+		t.Fatalf("makespan diverged: sync %.9f, pipelined %.9f", syncT, pipeT)
+	}
+	if !bytes.Equal(syncSnap, pipeSnap) {
+		t.Fatalf("snapshot diverged:\n--- sync\n%s\n--- pipelined\n%s", syncSnap, pipeSnap)
+	}
+}
+
+// TestPipelineExecMetrics: a pipelined run records executor health in the
+// separate registry — batches flow through the queue — while the simulated
+// registry stays free of core.exec.* families.
+func TestPipelineExecMetrics(t *testing.T) {
+	opts := DefaultOptions()
+	s := NewService(opts)
+	defer s.Close()
+	s.RegisterVP(0)
+	ctx := cudart.NewContext(0, s.Backend(0))
+	p, err := ctx.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.MemcpyH2D(p, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	s.UnregisterVP(0)
+	s.Flush()
+
+	exec := s.ExecMetrics().Snapshot()
+	if got := exec.CounterValue("core.exec.batches"); got == 0 {
+		t.Fatal("no batches counted through the executor")
+	}
+	sim := s.Snapshot()
+	for _, c := range sim.Counters {
+		if len(c.Name) >= 10 && c.Name[:10] == "core.exec." {
+			t.Fatalf("executor counter %q leaked into the simulated-work registry", c.Name)
+		}
+	}
+}
+
+// TestPipelineCloseFallsBackSynchronous: after Close the service keeps
+// working — batches dispatch on the submitter's goroutine again.
+func TestPipelineCloseFallsBackSynchronous(t *testing.T) {
+	s := NewService(DefaultOptions())
+	s.Close()
+	s.Close() // idempotent
+
+	j := sched.NewCustom(0, 0, hostgpu.EngineH2D, "post-close",
+		func(j *sched.Job, g *hostgpu.GPU) error { return nil })
+	s.Submit(j)
+	s.Flush()
+	if err := j.Wait(); err != nil {
+		t.Fatalf("post-close job failed: %v", err)
+	}
+	if got := s.ExecMetrics().Snapshot().CounterValue("core.exec.batches"); got != 0 {
+		t.Fatalf("closed executor still counted %d batches", got)
+	}
+}
+
+// TestPipelineOffExecMetricsEmpty: with the pipeline off the executor-health
+// registry exists but records nothing.
+func TestPipelineOffExecMetricsEmpty(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Pipeline = false
+	s := NewService(opts)
+	j := sched.NewCustom(0, 0, hostgpu.EngineH2D, "sync-mode",
+		func(j *sched.Job, g *hostgpu.GPU) error { return nil })
+	s.Submit(j)
+	s.Flush()
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if snap := s.ExecMetrics().Snapshot(); len(snap.Counters) != 0 {
+		t.Fatalf("synchronous service recorded executor counters: %+v", snap.Counters)
+	}
+}

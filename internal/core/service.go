@@ -54,6 +54,15 @@ type Options struct {
 	// (submitted → scheduled → dispatched → completed/cancelled). Nil creates
 	// a fresh registry, available via Service.Metrics().
 	Metrics *metrics.Registry
+
+	// Pipeline gives the service its own execution pipeline: drained batches
+	// are enqueued to a per-device executor goroutine instead of running on
+	// the submitter's goroutine, so guest submission overlaps device
+	// simulation and an N-device farm simulates N devices concurrently in
+	// wall clock. Simulated results (makespans, metrics, traces, D2H bytes)
+	// are identical either way; off restores the synchronous path for
+	// bisection.
+	Pipeline bool
 }
 
 // DefaultOptions returns a fully-optimized service on a Quadro 4000.
@@ -64,6 +73,7 @@ func DefaultOptions() Options {
 		Mode:     hostgpu.ExecFull,
 		Policy:   sched.PolicyInterleave,
 		Coalesce: true,
+		Pipeline: true,
 	}
 }
 
@@ -89,11 +99,18 @@ type Service struct {
 	vps   map[int]*vpState // every VP seen; shards survive reconnects
 	order []int            // sorted ids of registered VPs (snapshot order)
 
-	// dispatchMu serializes batch drain + dispatch. Without it, two
-	// goroutines can both observe the all-stopped predicate, drain separate
-	// batches, and interleave their jobs' Run calls, breaking per-(VP,stream)
-	// ordering on the device.
+	// dispatchMu serializes batch drain + enqueue (or drain + dispatch with
+	// the pipeline off). Without it, two goroutines can both observe the
+	// all-stopped predicate, drain separate batches, and interleave their
+	// jobs' Run calls, breaking per-(VP,stream) ordering on the device.
 	dispatchMu sync.Mutex
+
+	// exec is the device's execution pipeline (nil with Options.Pipeline
+	// off); execReg holds its wall-clock health counters, deliberately
+	// separate from the simulated-work registry so pipelined and synchronous
+	// runs snapshot byte-identically.
+	exec    *executor
+	execReg *metrics.Registry
 }
 
 // vpState is one VP's shard of the VP-control state.
@@ -151,9 +168,13 @@ func NewService(opts Options) *Service {
 		metrics: reg,
 		queue:   q,
 		vps:     map[int]*vpState{},
+		execReg: metrics.New(),
 	}
 	if opts.EstimateTarget != nil {
 		s.Estimator = NewEstimation(*opts.EstimateTarget)
+	}
+	if opts.Pipeline {
+		s.exec = newExecutor(s, s.execReg)
 	}
 	return s
 }
@@ -215,6 +236,10 @@ var ErrCancelled = errors.New("job cancelled: vp disconnected")
 // the ipc server's disconnect hook.
 func (s *Service) DisconnectVP(id int) {
 	s.deregister(id)
+	// Drain the pipeline before stamping cancellation events: the simulated
+	// clock must reflect every batch dispatched before the disconnect, as it
+	// does on the synchronous path.
+	s.Drain()
 	for _, j := range s.queue.RemoveVP(id) {
 		if !j.Done() {
 			j.Finish(fmt.Errorf("core: vp %d: %w", id, ErrCancelled))
@@ -256,6 +281,11 @@ func (s *Service) WaitJob(vp int, j *sched.Job) error {
 	st.mu.Unlock()
 	s.maybeDispatch()
 	err := j.Wait()
+	// Wake only once the whole batch has retired, not just this job: the VP
+	// then resumes against the same post-batch device state in pipelined and
+	// synchronous mode alike (its next SubmitTime reads the same clock), and
+	// no submit ever overlaps a dispatch while every VP is registered.
+	j.AwaitRetired()
 	st.mu.Lock()
 	st.blocked--
 	st.mu.Unlock()
@@ -280,10 +310,10 @@ func (s *Service) allStopped() bool {
 	return true
 }
 
-// maybeDispatch drains and dispatches the queue when every active VP is
-// stopped (or none are registered) and work is pending. The whole
-// drain-and-dispatch sequence holds dispatchMu so concurrent callers cannot
-// interleave two batches' Run calls.
+// maybeDispatch drains the queue into the execution pipeline when every
+// active VP is stopped (or none are registered) and work is pending. The
+// whole drain-and-enqueue sequence holds dispatchMu so concurrent callers
+// cannot interleave two batches (drain order is execution order).
 func (s *Service) maybeDispatch() {
 	s.dispatchMu.Lock()
 	defer s.dispatchMu.Unlock()
@@ -291,13 +321,15 @@ func (s *Service) maybeDispatch() {
 		if !s.allStopped() || s.queue.Len() == 0 {
 			return
 		}
-		batch := s.queue.DrainBatch()
-		s.dispatch(batch)
+		s.runBatch(s.queue.DrainBatch(), false)
 	}
 }
 
-// Flush dispatches everything pending regardless of VP states.
-func (s *Service) Flush() {
+// FlushAsync feeds everything pending into the execution pipeline regardless
+// of VP states, without waiting for it to retire. MultiService uses it to
+// start all devices before draining any, so a farm flush overlaps the
+// devices' simulations in wall clock.
+func (s *Service) FlushAsync() {
 	s.dispatchMu.Lock()
 	defer s.dispatchMu.Unlock()
 	for {
@@ -305,7 +337,91 @@ func (s *Service) Flush() {
 		if len(batch) == 0 {
 			return
 		}
+		s.runBatch(batch, false)
+	}
+}
+
+// Flush dispatches everything pending regardless of VP states and waits for
+// it to retire, like the synchronous path always did.
+func (s *Service) Flush() {
+	s.FlushAsync()
+	s.Drain()
+}
+
+// Drain blocks until every batch handed to the execution pipeline has fully
+// retired. It is the barrier behind every read of device state — with the
+// pipeline off it is a no-op, because dispatch already ran synchronously.
+func (s *Service) Drain() {
+	if s.exec != nil {
+		s.exec.drain()
+	}
+}
+
+// Close drains the execution pipeline and stops its goroutine. The service
+// stays usable: later batches simply dispatch synchronously. Idempotent.
+func (s *Service) Close() {
+	if s.exec != nil {
+		s.exec.close()
+	}
+}
+
+// ExecMetrics returns the executor-health registry (queue depth, batches,
+// enqueue stalls). It is separate from Metrics() by design: executor load is
+// a wall-clock property of the host, and folding it into the simulated-work
+// registry would break the byte-identical pipelined-vs-synchronous snapshot
+// guarantee. Empty (but never nil) with the pipeline off.
+func (s *Service) ExecMetrics() *metrics.Registry { return s.execReg }
+
+// Snapshot drains the pipeline and snapshots the simulated-work registry —
+// the barrier form of Metrics().Snapshot().
+func (s *Service) Snapshot() metrics.Snapshot {
+	s.Drain()
+	return s.metrics.Snapshot()
+}
+
+// runBatch hands one drained batch to the execution pipeline, falling back
+// to synchronous dispatch when the pipeline is off or closed. Caller holds
+// dispatchMu. Every job is bound to its batch's retirement signal first, in
+// both modes, so WaitJob wakes VPs at the same points either way.
+func (s *Service) runBatch(batch []*sched.Job, raw bool) {
+	if len(batch) == 0 {
+		return
+	}
+	done := make(chan struct{})
+	for _, j := range batch {
+		j.BindBatch(done)
+	}
+	if s.exec != nil && s.exec.enqueue(execBatch{jobs: batch, raw: raw, done: done}) {
+		return
+	}
+	if raw {
+		s.runRaw(batch)
+	} else {
 		s.dispatch(batch)
+	}
+	close(done)
+}
+
+// DispatchRaw runs one externally-assembled batch through the Re-scheduler
+// and the device without service accounting — the deterministic path the
+// experiments use. With the pipeline on the batch is enqueued and DispatchRaw
+// returns without waiting; Sync/Drain is the completion barrier.
+func (s *Service) DispatchRaw(batch []*sched.Job) {
+	s.dispatchMu.Lock()
+	defer s.dispatchMu.Unlock()
+	s.runBatch(batch, true)
+}
+
+// runRaw is the raw batch body: plan and run, no lifecycle events.
+func (s *Service) runRaw(batch []*sched.Job) {
+	if s.opts.Coalesce {
+		batch = coalesce.Apply(s.GPU, batch)
+	}
+	for _, j := range sched.Plan(batch, s.opts.Policy) {
+		err := j.Run(s.GPU)
+		if !j.Done() {
+			j.Finish(err)
+		}
 	}
 }
 
@@ -364,8 +480,12 @@ func (s *Service) dispatch(batch []*sched.Job) {
 	}
 }
 
-// Sync returns the simulated completion time of all dispatched work.
-func (s *Service) Sync() float64 { return s.GPU.Sync() }
+// Sync returns the simulated completion time of all dispatched work,
+// draining the execution pipeline first.
+func (s *Service) Sync() float64 {
+	s.Drain()
+	return s.GPU.Sync()
+}
 
 // QueuedJobs returns the number of jobs waiting in the service queue — the
 // queued-work half of the load estimate least-loaded placement scores by.
@@ -383,11 +503,19 @@ func (s *Service) ActiveVPs() int {
 }
 
 // SessionEnergy returns the host GPU's energy over the session (kernel
-// energies plus static power across the simulated span).
-func (s *Service) SessionEnergy() float64 { return s.GPU.SessionEnergy() }
+// energies plus static power across the simulated span), draining the
+// execution pipeline first.
+func (s *Service) SessionEnergy() float64 {
+	s.Drain()
+	return s.GPU.SessionEnergy()
+}
 
-// Trace returns the engine timeline, if enabled.
-func (s *Service) Trace() *trace.Log { return s.GPU.Trace }
+// Trace returns the engine timeline, if enabled, draining the execution
+// pipeline first so the log covers everything dispatched.
+func (s *Service) Trace() *trace.Log {
+	s.Drain()
+	return s.GPU.Trace
+}
 
 // --- IPC endpoint ---
 
@@ -455,6 +583,7 @@ func (s *Service) Handle(vp int, req any) any {
 		if err != nil {
 			return ipc.ErrResp{Msg: err.Error()}
 		}
+		s.Drain()
 		return ipc.OKResp{End: s.GPU.SyncStream(stream)}
 	default:
 		return ipc.ErrResp{Msg: fmt.Sprintf("core: unknown request %T", req)}

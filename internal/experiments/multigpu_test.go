@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"runtime"
 	"testing"
 	"time"
 
@@ -76,6 +77,37 @@ func TestMultiGPUScalingDeterministic(t *testing.T) {
 	}
 }
 
+// TestMultiGPUScalingPipelineEquivalence pins the tentpole's simulated-result
+// guarantee at the study level: pipelined and synchronous execution produce a
+// byte-identical JSON artifact — only the wall-clock columns (excluded from
+// the JSON) may move.
+func TestMultiGPUScalingPipelineEquivalence(t *testing.T) {
+	on, err := MultiGPUScalingOpt(8, 4, []int{1, 2}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := MultiGPUScalingOpt(8, 4, []int{1, 2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onJSON, err := on.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	offJSON, err := off.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onJSON, offJSON) {
+		t.Fatalf("pipelined study diverged from synchronous:\n--- pipeline on\n%s\n--- pipeline off\n%s", onJSON, offJSON)
+	}
+	for _, p := range on.Points {
+		if p.WallClockSec <= 0 {
+			t.Errorf("%d devices: wall clock not measured", p.Devices)
+		}
+	}
+}
+
 // multiRemoteRun serves a two-device MultiService over TCP and drives four
 // VPs through it sequentially, returning every artifact multi-device
 // determinism is judged on: the VPs' device assignments, their concatenated
@@ -85,15 +117,17 @@ func TestMultiGPUScalingDeterministic(t *testing.T) {
 // the property under test is the serving stack, not client scheduling: with a
 // fixed registration order the placement, and hence every downstream byte,
 // must not depend on codec or worker-pool size.
-func multiRemoteRun(t *testing.T, codecName string, workers int) (assign string, d2h, metricsJSON, traceJSON []byte) {
+func multiRemoteRun(t *testing.T, codecName string, workers int, pipeline bool) (assign string, d2h, metricsJSON, traceJSON []byte) {
 	t.Helper()
 	opts := core.DefaultOptions()
 	opts.Workers = workers
 	opts.Trace = true
+	opts.Pipeline = pipeline
 	ms, err := core.NewMultiService(opts, []arch.GPU{arch.Quadro4000(), arch.Quadro4000()})
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer ms.Close()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -186,19 +220,34 @@ func multiRemoteRun(t *testing.T, codecName string, workers int) (assign string,
 // TestMultiDeviceRemoteDeterminism is the multi-GPU half of the determinism
 // contract: with a fixed VP registration order, the placement decisions, D2H
 // payloads, aggregated metrics snapshot, and merged trace are byte-identical
-// across wire codecs and worker-pool sizes.
+// across wire codecs, worker-pool sizes, pipelined vs synchronous execution,
+// and GOMAXPROCS 1 vs 4 (a pipelined farm on a single-core host must still
+// simulate the same bytes, just without the wall-clock overlap).
 func TestMultiDeviceRemoteDeterminism(t *testing.T) {
 	type run struct {
-		codec   string
-		workers int
+		codec    string
+		workers  int
+		pipeline bool
+		maxprocs int // 0 = leave the test binary's setting alone
 	}
 	runs := []run{
-		{"gob", 1},
-		{"binary", 1},
-		{"binary", 4},
-		{"gob", 4},
+		{"gob", 1, true, 0},
+		{"binary", 1, true, 0},
+		{"binary", 4, true, 0},
+		{"gob", 4, true, 0},
+		{"gob", 1, false, 0},
+		{"binary", 4, false, 0},
+		{"binary", 4, true, 1},
+		{"binary", 4, false, 1},
+		{"binary", 4, true, 4},
 	}
-	refAssign, refD2H, refMetrics, refTrace := multiRemoteRun(t, runs[0].codec, runs[0].workers)
+	do := func(r run) (string, []byte, []byte, []byte) {
+		if r.maxprocs > 0 {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(r.maxprocs))
+		}
+		return multiRemoteRun(t, r.codec, r.workers, r.pipeline)
+	}
+	refAssign, refD2H, refMetrics, refTrace := do(runs[0])
 	if refAssign != "[0 1 0 1]" {
 		t.Fatalf("round-robin placement of VPs 1..4 = %s, want [0 1 0 1]", refAssign)
 	}
@@ -209,8 +258,8 @@ func TestMultiDeviceRemoteDeterminism(t *testing.T) {
 		t.Fatal("reference run produced no trace records")
 	}
 	for _, r := range runs[1:] {
-		name := fmt.Sprintf("%s/workers=%d", r.codec, r.workers)
-		assign, d2h, metricsJSON, traceJSON := multiRemoteRun(t, r.codec, r.workers)
+		name := fmt.Sprintf("%s/workers=%d/pipeline=%v/maxprocs=%d", r.codec, r.workers, r.pipeline, r.maxprocs)
+		assign, d2h, metricsJSON, traceJSON := do(r)
 		if assign != refAssign {
 			t.Errorf("%s: placement %s differs from reference %s", name, assign, refAssign)
 		}

@@ -76,6 +76,28 @@ type Job struct {
 
 	seq  int
 	done chan struct{}
+
+	// retired, when non-nil, is closed once the executor batch containing
+	// the job has fully retired — the batch's every job has run AND all of
+	// its dispatch accounting (events, latency histograms) is recorded. Set
+	// by the pipelined executor before handoff; nil for jobs dispatched
+	// synchronously or cancelled while still queued.
+	retired <-chan struct{}
+}
+
+// BindBatch attaches the retire signal of the executor batch that will run
+// this job. It must be called before the batch is handed to the executor
+// goroutine (the channel handoff is what publishes the write).
+func (j *Job) BindBatch(done <-chan struct{}) { j.retired = done }
+
+// AwaitRetired blocks until the job's batch has fully retired. Call it only
+// after Wait has returned: a finished job either went through an executor
+// (retired set before its Finish) or never will (cancelled in the queue), so
+// the read is race-free. No-op on the synchronous dispatch path.
+func (j *Job) AwaitRetired() {
+	if j.retired != nil {
+		<-j.retired
+	}
 }
 
 func newJob(vp, stream int, engine, label string) *Job {
@@ -240,6 +262,79 @@ func markCycle(j *Job) {
 	}
 }
 
+// chainKey identifies one (VP, stream) arrival chain within a batch.
+type chainKey struct{ vp, stream int }
+
+// planChain is one (VP, stream) chain of the batch being planned: its jobs in
+// arrival order plus the planner's head cursor.
+type planChain struct {
+	jobs []*Job
+	head int
+}
+
+// planScratch is the Re-scheduler's per-batch scratch state. A plan runs on
+// every dispatched batch — the hot path of the whole service — so the maps
+// and chain slices are pooled and reused across batches (cleared, capacity
+// retained) instead of reallocated. Pinned by BenchmarkPlanAllocs and
+// TestPlanAllocs.
+type planScratch struct {
+	planned  map[*Job]bool
+	inBatch  map[*Job]bool
+	prev     map[*Job]*Job   // previous job in the (VP, stream) chain
+	lastOf   map[chainKey]*Job
+	chainIdx map[chainKey]int
+	arrival  map[*Job]int
+	chains   []planChain
+	nchains  int
+}
+
+var planPool = sync.Pool{New: func() any { return new(planScratch) }}
+
+// getScratch fetches a scratch sized for an n-job batch.
+func getScratch(n int) *planScratch {
+	ps := planPool.Get().(*planScratch)
+	if ps.planned == nil {
+		ps.planned = make(map[*Job]bool, n)
+		ps.inBatch = make(map[*Job]bool, n)
+		ps.prev = make(map[*Job]*Job, n)
+		ps.lastOf = make(map[chainKey]*Job, n)
+		ps.chainIdx = make(map[chainKey]int, n)
+		ps.arrival = make(map[*Job]int, n)
+	}
+	return ps
+}
+
+// release clears the scratch (keeping map buckets and slice capacity) and
+// returns it to the pool.
+func (ps *planScratch) release() {
+	clear(ps.planned)
+	clear(ps.inBatch)
+	clear(ps.prev)
+	clear(ps.lastOf)
+	clear(ps.chainIdx)
+	clear(ps.arrival)
+	for i := 0; i < ps.nchains; i++ {
+		ps.chains[i].jobs = ps.chains[i].jobs[:0]
+		ps.chains[i].head = 0
+	}
+	ps.nchains = 0
+	planPool.Put(ps)
+}
+
+// chain returns the chain for a key, creating it in insertion order on first
+// sight (the order planInterleave round-robins over).
+func (ps *planScratch) chain(k chainKey) *planChain {
+	if i, ok := ps.chainIdx[k]; ok {
+		return &ps.chains[i]
+	}
+	if ps.nchains == len(ps.chains) {
+		ps.chains = append(ps.chains, planChain{})
+	}
+	ps.chainIdx[k] = ps.nchains
+	ps.nchains++
+	return &ps.chains[ps.nchains-1]
+}
+
 // Plan computes the dispatch order of a batch under the given policy. The
 // order always respects (a) each (VP, stream) chain's arrival order and
 // (b) explicit Deps. Under PolicyInterleave, the planner greedily prefers a
@@ -251,11 +346,13 @@ func Plan(batch []*Job, policy Policy) []*Job {
 	if len(batch) <= 1 {
 		return batch
 	}
+	ps := getScratch(len(batch))
+	defer ps.release()
 	if policy == PolicyFIFO {
-		return planFIFO(batch)
+		return planFIFO(batch, ps)
 	}
 
-	return planInterleave(batch)
+	return planInterleave(batch, ps)
 }
 
 // PlanRecorded is Plan plus Re-scheduler observability: it records, into m,
@@ -268,13 +365,14 @@ func PlanRecorded(batch []*Job, policy Policy, m *metrics.Registry) []*Job {
 		return order
 	}
 	m.Counter("sched.batches_planned").Inc()
-	arrival := make(map[*Job]int, len(batch))
+	ps := getScratch(len(batch))
+	defer ps.release()
 	for i, j := range batch {
-		arrival[j] = i
+		ps.arrival[j] = i
 	}
 	h := m.Histogram("sched.reorder_distance", metrics.CountBuckets)
 	for i, j := range order {
-		ai, ok := arrival[j]
+		ai, ok := ps.arrival[j]
 		if !ok {
 			continue // job injected after arrival (merged coalesce jobs)
 		}
@@ -291,30 +389,26 @@ func PlanRecorded(batch []*Job, policy Policy, m *metrics.Registry) []*Job {
 // explicit dependencies (a coalesced job sits at its last member's slot, so
 // earlier members' successors must slide after it): a stable topological
 // order.
-func planFIFO(batch []*Job) []*Job {
-	inBatch := make(map[*Job]bool, len(batch))
-	prevInChain := make(map[*Job]*Job, len(batch))
-	lastOfChain := map[[2]int]*Job{}
+func planFIFO(batch []*Job, ps *planScratch) []*Job {
 	for _, j := range batch {
-		inBatch[j] = true
-		k := [2]int{j.VP, j.Stream}
-		prevInChain[j] = lastOfChain[k]
-		lastOfChain[k] = j
+		ps.inBatch[j] = true
+		k := chainKey{j.VP, j.Stream}
+		ps.prev[j] = ps.lastOf[k]
+		ps.lastOf[k] = j
 	}
-	planned := make(map[*Job]bool, len(batch))
 	out := make([]*Job, 0, len(batch))
 	for len(out) < len(batch) {
 		progressed := false
 		for _, j := range batch {
-			if planned[j] {
+			if ps.planned[j] {
 				continue
 			}
 			ok := true
-			if p := prevInChain[j]; p != nil && !planned[p] {
+			if p := ps.prev[j]; p != nil && !ps.planned[p] {
 				ok = false
 			}
 			for _, d := range j.Deps {
-				if inBatch[d] && !planned[d] {
+				if ps.inBatch[d] && !ps.planned[d] {
 					ok = false
 					break
 				}
@@ -322,7 +416,7 @@ func planFIFO(batch []*Job) []*Job {
 			if !ok {
 				continue
 			}
-			planned[j] = true
+			ps.planned[j] = true
 			out = append(out, j)
 			progressed = true
 		}
@@ -330,16 +424,16 @@ func planFIFO(batch []*Job) []*Job {
 			// Malformed cycle: emit the remainder in arrival order, marking
 			// every job whose explicit deps are violated by the forced order.
 			for _, j := range batch {
-				if planned[j] {
+				if ps.planned[j] {
 					continue
 				}
 				for _, d := range j.Deps {
-					if inBatch[d] && !planned[d] {
+					if ps.inBatch[d] && !ps.planned[d] {
 						markCycle(j)
 						break
 					}
 				}
-				planned[j] = true
+				ps.planned[j] = true
 				out = append(out, j)
 			}
 		}
@@ -347,31 +441,21 @@ func planFIFO(batch []*Job) []*Job {
 	return out
 }
 
-func planInterleave(batch []*Job) []*Job {
-	type chainKey struct{ vp, stream int }
-	chains := map[chainKey][]*Job{}
-	var keys []chainKey
+func planInterleave(batch []*Job, ps *planScratch) []*Job {
 	for _, j := range batch {
-		k := chainKey{j.VP, j.Stream}
-		if _, ok := chains[k]; !ok {
-			keys = append(keys, k)
-		}
-		chains[k] = append(chains[k], j)
+		c := ps.chain(chainKey{j.VP, j.Stream})
+		c.jobs = append(c.jobs, j)
+		ps.inBatch[j] = true
 	}
+	chains := ps.chains[:ps.nchains]
 
-	planned := make(map[*Job]bool, len(batch))
-	inBatch := make(map[*Job]bool, len(batch))
-	for _, j := range batch {
-		inBatch[j] = true
-	}
-	heads := map[chainKey]int{}
 	out := make([]*Job, 0, len(batch))
 	lastEngine := ""
 	rr := 0
 
 	ready := func(j *Job) bool {
 		for _, d := range j.Deps {
-			if inBatch[d] && !planned[d] {
+			if ps.inBatch[d] && !ps.planned[d] {
 				return false
 			}
 		}
@@ -381,16 +465,16 @@ func planInterleave(batch []*Job) []*Job {
 	for len(out) < len(batch) {
 		// Gather the ready head of each chain.
 		var pick *Job
-		var pickKey chainKey
+		pickIdx := -1
 		// First pass: prefer a different engine, round-robin from rr.
 		for pass := 0; pass < 2 && pick == nil; pass++ {
-			for i := 0; i < len(keys); i++ {
-				k := keys[(rr+i)%len(keys)]
-				idx := heads[k]
-				if idx >= len(chains[k]) {
+			for i := 0; i < len(chains); i++ {
+				ci := (rr + i) % len(chains)
+				c := &chains[ci]
+				if c.head >= len(c.jobs) {
 					continue
 				}
-				j := chains[k][idx]
+				j := c.jobs[c.head]
 				if !ready(j) {
 					continue
 				}
@@ -398,7 +482,7 @@ func planInterleave(batch []*Job) []*Job {
 					continue
 				}
 				pick = j
-				pickKey = k
+				pickIdx = ci
 				break
 			}
 		}
@@ -409,10 +493,10 @@ func planInterleave(batch []*Job) []*Job {
 			// heads are eligible — per-chain order is inviolable. A forced
 			// head with unplanned deps is a cycle victim: mark it so the
 			// violation is signalled, not silent.
-			for _, k := range keys {
-				if idx := heads[k]; idx < len(chains[k]) {
-					pick = chains[k][idx]
-					pickKey = k
+			for i := range chains {
+				if c := &chains[i]; c.head < len(c.jobs) {
+					pick = c.jobs[c.head]
+					pickIdx = i
 					if !ready(pick) {
 						markCycle(pick)
 					}
@@ -420,14 +504,9 @@ func planInterleave(batch []*Job) []*Job {
 				}
 			}
 		}
-		heads[pickKey]++
-		for i, k := range keys {
-			if k == pickKey {
-				rr = (i + 1) % len(keys)
-				break
-			}
-		}
-		planned[pick] = true
+		chains[pickIdx].head++
+		rr = (pickIdx + 1) % len(chains)
+		ps.planned[pick] = true
 		lastEngine = pick.Engine
 		out = append(out, pick)
 	}
