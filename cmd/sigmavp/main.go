@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	sigmavp [-scale N] [-workers N] table1|fig3|fig9a|fig9b|fig10a|fig10b|fig11|fig12|fig13|sweep|scaling|multigpu|faults|all
+//	sigmavp [-scale N] [-workers N] table1|fig3|fig9a|fig9b|fig10a|fig10b|fig11|fig12|fig13|sweep|scaling|multigpu|faults|overload|all
 //
 // "multigpu" runs the multi-GPU serving study: the same -vps VP fleet with a
 // mixed workload served by 1, 2, and 4 host GPUs through a core.MultiService,
@@ -13,6 +13,12 @@
 // IPC stack while the client transport injects seeded drop/delay/corrupt/
 // disconnect faults (-faults configures the schedule). It is a robustness
 // check, not a paper artifact, so "all" does not include it.
+//
+// "overload" runs the admission-control drill: a 2-device farm over TCP IPC
+// with an aggressor VP oversubscribing its quota -oversub× while a victim VP
+// runs a deterministic workload; the drill verifies bounded queues, typed
+// retryable sheds with backoff hints, and byte-identical victim artifacts
+// versus an uncontended run. Like "faults", it is excluded from "all".
 //
 // -workers sizes the experiment-harness worker pool (0 = one worker per CPU,
 // 1 = serial). Results are identical for every value; only wall-clock changes.
@@ -45,11 +51,12 @@ func main() {
 	faults := flag.String("faults", "seed=1,drop=0.05,delay=0.2,maxdelay=5ms,corrupt=0.02,disconnect=0.02",
 		"fault-injection spec for the faults drill (key=value pairs; see internal/ipc.ParseFaults)")
 	codecName := flag.String("codec", "binary", "wire codec for the faults drill: binary or gob")
+	oversub := flag.Int("oversub", 4, "oversubscription factor for the overload drill (multiple of the per-VP job quota)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	metricsFile := flag.String("metrics", "", "write the harness metrics snapshot (JSON) to this file on exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sigmavp [-scale N] [-workers N] [-faults SPEC] [-codec binary|gob] [-metrics FILE] [-cpuprofile FILE] [-memprofile FILE] table1|fig3|fig9a|fig9b|fig10a|fig10b|fig11|fig12|fig13|sweep|scaling|multigpu|faults|all\n")
+		fmt.Fprintf(os.Stderr, "usage: sigmavp [-scale N] [-workers N] [-faults SPEC] [-codec binary|gob] [-metrics FILE] [-cpuprofile FILE] [-memprofile FILE] table1|fig3|fig9a|fig9b|fig10a|fig10b|fig11|fig12|fig13|sweep|scaling|multigpu|faults|overload|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -81,9 +88,13 @@ func main() {
 			}
 			return experiments.FaultDrillCodec(*faults, 4, 4, codec)
 		},
+		"overload": func() (fmt.Stringer, error) {
+			return experiments.OverloadDrill(*oversub, 4)
+		},
 	}
-	// "faults" is deliberately absent: it is a robustness drill, not a paper
-	// artifact, and must not perturb `sigmavp all` regeneration output.
+	// "faults" and "overload" are deliberately absent: they are robustness
+	// drills, not paper artifacts, and must not perturb `sigmavp all`
+	// regeneration output.
 	order := []string{"table1", "fig3", "fig9a", "fig9b", "fig10a", "fig10b", "fig11", "fig12", "fig13", "sweep", "scaling", "multigpu"}
 
 	what := flag.Arg(0)

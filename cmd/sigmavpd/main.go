@@ -22,6 +22,15 @@
 // Usage:
 //
 //	sigmavpd [-listen 127.0.0.1:7075] [-http ADDR] [-arch quadro|k520|tegra] [-gpus N|LIST] [-placement POLICY] [-baseline] [-pipeline=false]
+//	         [-max-queued N] [-max-queued-bytes N] [-farm-max-queued N] [-farm-max-queued-bytes N] [-rate R] [-burst N] [-fair N]
+//
+// The admission flags bound what guests may keep in flight (0 = unlimited):
+// -max-queued/-max-queued-bytes cap each VP's admitted jobs and pinned host
+// bytes, -farm-max-queued/-farm-max-queued-bytes cap the farm-wide totals,
+// -rate/-burst token-bucket each VP's submission rate, and -fair caps how many
+// jobs one VP contributes per dispatched batch (weighted fair dequeue). Shed
+// requests receive a typed, retryable overload response with a backoff hint;
+// the cudart client honours the hint and resubmits transparently.
 package main
 
 import (
@@ -55,6 +64,13 @@ func main() {
 	pipeline := flag.Bool("pipeline", true, "per-device execution pipelines: devices simulate concurrently in wall clock (off = synchronous dispatch, for bisection)")
 	grace := flag.Duration("grace", 5*time.Second, "shutdown grace period for in-flight requests")
 	metricsOut := flag.String("metrics-out", "", "write a final metrics snapshot (JSON) to this file on shutdown")
+	maxQueued := flag.Int("max-queued", 0, "per-VP admission cap on queued jobs (0 = unlimited)")
+	maxQueuedBytes := flag.Int64("max-queued-bytes", 0, "per-VP admission cap on queued payload bytes (0 = unlimited)")
+	farmMaxQueued := flag.Int("farm-max-queued", 0, "farm-wide admission cap on queued jobs across all devices (0 = unlimited)")
+	farmMaxQueuedBytes := flag.Int64("farm-max-queued-bytes", 0, "farm-wide admission cap on queued payload bytes (0 = unlimited)")
+	rate := flag.Float64("rate", 0, "per-VP sustained submission rate limit in jobs/second (0 = unlimited)")
+	burst := flag.Int("burst", 0, "token-bucket burst for -rate (0 = derived from the rate)")
+	fair := flag.Int("fair", 0, "fair-dequeue share: max jobs one VP contributes per dispatched batch (0 = unlimited)")
 	flag.Parse()
 
 	opts := core.DefaultOptions()
@@ -73,6 +89,15 @@ func main() {
 		// /trace is only useful with the timeline recorder on.
 		opts.Trace = true
 	}
+	opts.Admission = core.AdmissionOptions{
+		MaxQueuedJobs:      *maxQueued,
+		MaxQueuedBytes:     *maxQueuedBytes,
+		FarmMaxQueuedJobs:  *farmMaxQueued,
+		FarmMaxQueuedBytes: *farmMaxQueuedBytes,
+		Rate:               *rate,
+		Burst:              *burst,
+	}
+	opts.FairShare = *fair
 
 	// Both serving shapes collapse onto one ipc.Endpoint plus snapshot and
 	// trace accessors; everything below this block is shape-agnostic.
@@ -80,6 +105,7 @@ func main() {
 		ep       ipc.Endpoint
 		snap     func() metrics.Snapshot
 		execSnap func() metrics.Snapshot
+		admSnap  func() metrics.Snapshot
 		traceOf  func() *trace.Log
 		syncOf   func() float64
 		closer   func()
@@ -90,6 +116,7 @@ func main() {
 		ep = svc
 		snap = svc.Snapshot
 		execSnap = func() metrics.Snapshot { return svc.ExecMetrics().Snapshot() }
+		admSnap = func() metrics.Snapshot { return svc.AdmissionMetrics().Snapshot() }
 		traceOf = svc.Trace
 		syncOf = svc.Sync
 		closer = svc.Close
@@ -113,6 +140,7 @@ func main() {
 		ep = ms
 		snap = ms.Snapshot
 		execSnap = ms.ExecSnapshot
+		admSnap = ms.AdmissionSnapshot
 		traceOf = ms.MergedTrace
 		syncOf = ms.Sync
 		closer = ms.Close
@@ -138,11 +166,12 @@ func main() {
 	transport := metrics.New()
 	srv.SetMetrics(transport)
 	// The served snapshot also carries the executor-health counters
-	// (core.exec.* queue depth, batches, enqueue stalls), so farm saturation
-	// is observable remotely; like the transport counters they live outside
-	// the simulated-work registry.
+	// (core.exec.* queue depth, batches, enqueue stalls) and the admission
+	// counters (core.admission.* admitted/shed/throttled, reservation
+	// gauges), so farm saturation and shedding are observable remotely; like
+	// the transport counters they live outside the simulated-work registry.
 	fullSnap := func() metrics.Snapshot {
-		return metrics.MergeSnapshots(snap(), execSnap(), transport.Snapshot())
+		return metrics.MergeSnapshots(snap(), execSnap(), admSnap(), transport.Snapshot())
 	}
 	fmt.Printf("sigmavpd: serving %s on %s (optimizations %v)\n", banner, srv.Addr(), !*baseline)
 

@@ -246,6 +246,81 @@ func TestMultiGPUDaemon(t *testing.T) {
 	}
 }
 
+// TestDaemonAdmissionFlags drives the serving shape the admission flags
+// (-max-queued, -max-queued-bytes, -fair) configure: a daemon with a byte
+// quota sheds an oversized copy with a typed, non-retryable overload, admits
+// traffic within quota, and exposes the core.admission.* counters through the
+// same merged snapshot /metrics serves.
+func TestDaemonAdmissionFlags(t *testing.T) {
+	opts := core.DefaultOptions()
+	// What `sigmavpd -max-queued 4 -max-queued-bytes 16 -fair 2` would set.
+	opts.Admission = core.AdmissionOptions{MaxQueuedJobs: 4, MaxQueuedBytes: 16}
+	opts.FairShare = 2
+	svc := core.NewService(opts)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ipc.ServeWithHooks(l, svc.Handle, svc.RegisterVP, svc.DisconnectVP)
+	transport := metrics.New()
+	srv.SetMetrics(transport)
+	fullSnap := func() metrics.Snapshot {
+		return metrics.MergeSnapshots(svc.Snapshot(),
+			svc.ExecMetrics().Snapshot(), svc.AdmissionMetrics().Snapshot(),
+			transport.Snapshot())
+	}
+	mux := buildMux(fullSnap, svc.Trace)
+
+	c, err := ipc.Dial(srv.Addr().String(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Call(ipc.MallocReq{Size: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptr := resp.(ipc.MallocResp).Ptr
+
+	// A copy larger than the whole byte quota can never be admitted: the
+	// daemon must shed it with a typed, non-retryable overload.
+	_, err = c.Call(ipc.H2DReq{Dst: ptr, Data: make([]byte, 64)})
+	oe, ok := ipc.AsOverload(err)
+	if !ok {
+		t.Fatalf("oversized H2D err = %v, want overload", err)
+	}
+	if oe.Retryable {
+		t.Fatal("payload larger than the quota must be non-retryable")
+	}
+	// Within-quota traffic still flows on the same connection.
+	if _, err := c.Call(ipc.H2DReq{Dst: ptr, Data: []byte{1, 2, 3}}); err != nil {
+		t.Fatalf("within-quota H2D after shed: %v", err)
+	}
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("/metrics not JSON: %v", err)
+	}
+	if snap.CounterValue("core.admission.shed") == 0 {
+		t.Fatal("merged snapshot missing admission shed counter")
+	}
+	if snap.CounterValue("core.admission.shed.payload") == 0 {
+		t.Fatal("merged snapshot missing per-reason shed counter")
+	}
+	if snap.CounterValue("core.admission.admitted") == 0 {
+		t.Fatal("merged snapshot missing admission admitted counter")
+	}
+
+	if err := shutdown(srv, nil, svc.Close, fullSnap, 2*time.Second, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestTraceDisabled checks /trace 404s when the recorder is off.
 func TestTraceDisabled(t *testing.T) {
 	svc := core.NewService(core.DefaultOptions())

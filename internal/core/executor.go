@@ -42,12 +42,25 @@ type execBatch struct {
 type executor struct {
 	ch chan execBatch
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	inflight int // batches enqueued (or pending enqueue) but not yet retired
-	closed   bool
+	mu        sync.Mutex
+	cond      *sync.Cond
+	inflight  int // batches enqueued (or pending enqueue) but not yet retired
+	highWater int // max inflight ever seen
+	closed    bool
 
 	reg *metrics.Registry
+}
+
+// setDepth publishes the pipeline depth gauges. Caller holds e.mu: the gauge
+// has exactly one owner (whichever goroutine holds the mutex), so concurrent
+// enqueue/retire can never publish a stale depth over a fresher one —
+// metrics.Gauge.Set is only safe with a single writer.
+func (e *executor) setDepth() {
+	e.reg.Gauge("core.exec.queue_depth").Set(int64(e.inflight))
+	if e.inflight > e.highWater {
+		e.highWater = e.inflight
+		e.reg.Gauge("core.exec.queue_depth_hw").Set(int64(e.highWater))
+	}
 }
 
 // newExecutor starts a service's pipeline goroutine.
@@ -69,9 +82,9 @@ func (e *executor) run(s *Service) {
 		} else {
 			s.dispatch(b.jobs)
 		}
-		e.reg.Gauge("core.exec.queue_depth").Set(int64(len(e.ch)))
 		e.mu.Lock()
 		e.inflight--
+		e.setDepth()
 		if e.inflight == 0 {
 			e.cond.Broadcast()
 		}
@@ -92,8 +105,13 @@ func (e *executor) enqueue(b execBatch) bool {
 		return false
 	}
 	// Count the batch before the channel send: a drain must not slip past a
-	// batch that is accepted but still waiting for a queue slot.
+	// batch that is accepted but still waiting for a queue slot. The depth
+	// gauge now counts in-pipeline batches (accepted but not retired) and is
+	// only ever written under e.mu — setting it from the channel length after
+	// the blocking send raced the executor goroutine's own update and could
+	// publish a stale depth over a fresher one.
 	e.inflight++
+	e.setDepth()
 	e.mu.Unlock()
 
 	e.reg.Counter("core.exec.batches").Inc()
@@ -105,7 +123,6 @@ func (e *executor) enqueue(b execBatch) bool {
 		e.ch <- b
 		e.reg.Counter("core.exec.stall_wait_ns").Add(time.Since(start).Nanoseconds())
 	}
-	e.reg.Gauge("core.exec.queue_depth").Set(int64(len(e.ch)))
 	return true
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/cudart"
 	"repro/internal/devmem"
 	"repro/internal/hostgpu"
+	"repro/internal/ipc"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/trace"
@@ -90,6 +91,11 @@ type MultiService struct {
 	byVP    map[int]int // VP → device index; sticky across reconnects
 	vpCount []int       // VPs ever assigned per device (placement tie-break)
 	nextRR  int         // round-robin cursor
+
+	// adm holds the farm-wide admission caps (Options.Admission.Farm*);
+	// admReg counts farm-level sheds, merged into AdmissionSnapshot.
+	adm    AdmissionOptions
+	admReg *metrics.Registry
 }
 
 // NewMultiService builds one service per host GPU descriptor with the
@@ -109,6 +115,8 @@ func NewMultiServicePlaced(opts Options, gpus []arch.GPU, placement PlacementPol
 		placement: placement,
 		byVP:      map[int]int{},
 		vpCount:   make([]int, len(gpus)),
+		adm:       opts.Admission,
+		admReg:    metrics.New(),
 	}
 	for _, g := range gpus {
 		o := opts
@@ -140,13 +148,37 @@ func (m *MultiService) Assignment(vp int) (int, bool) {
 	return d, ok
 }
 
-// place chooses a device for a new VP. Caller holds m.mu.
+// placeCandidates returns the device indices placement may choose from:
+// devices at or over their admission quota (Service.OverQuota) are refused so
+// a new VP never lands on a device already shedding load. When every device
+// is over quota the refusal is moot — all devices stay eligible, and
+// admission shedding (not placement) is the protection. Caller holds m.mu.
+func (m *MultiService) placeCandidates() []int {
+	cand := make([]int, 0, len(m.services))
+	for i, s := range m.services {
+		if !s.OverQuota() {
+			cand = append(cand, i)
+		}
+	}
+	if len(cand) == 0 {
+		for i := range m.services {
+			cand = append(cand, i)
+		}
+	} else if len(cand) < len(m.services) {
+		m.admReg.Counter("core.admission.placement_refusals").Inc()
+	}
+	return cand
+}
+
+// place chooses a device for a new VP among the admission-eligible
+// candidates. Caller holds m.mu.
 func (m *MultiService) place() int {
+	cand := m.placeCandidates()
 	switch m.placement {
 	case PlaceLeastLoaded:
-		best := 0
-		bq, bb := m.services[0].QueuedJobs(), m.services[0].BusySeconds()
-		for i := 1; i < len(m.services); i++ {
+		best := cand[0]
+		bq, bb := m.services[best].QueuedJobs(), m.services[best].BusySeconds()
+		for _, i := range cand[1:] {
 			q, b := m.services[i].QueuedJobs(), m.services[i].BusySeconds()
 			if q < bq || (q == bq && (b < bb || (b == bb && m.vpCount[i] < m.vpCount[best]))) {
 				best, bq, bb = i, q, b
@@ -154,9 +186,9 @@ func (m *MultiService) place() int {
 		}
 		return best
 	case PlaceMemAware:
-		best := 0
-		bh := m.services[0].GPU.Mem.Headroom()
-		for i := 1; i < len(m.services); i++ {
+		best := cand[0]
+		bh := m.services[best].GPU.Mem.Headroom()
+		for _, i := range cand[1:] {
 			h := m.services[i].GPU.Mem.Headroom()
 			if h > bh || (h == bh && m.vpCount[i] < m.vpCount[best]) {
 				best, bh = i, h
@@ -164,9 +196,19 @@ func (m *MultiService) place() int {
 		}
 		return best
 	default:
-		d := m.nextRR % len(m.services)
-		m.nextRR++
-		return d
+		// Round-robin over the full index sequence, skipping refused
+		// devices, so the cursor's cycle stays deterministic as devices
+		// drop in and out of eligibility.
+		for range m.services {
+			d := m.nextRR % len(m.services)
+			m.nextRR++
+			for _, c := range cand {
+				if c == d {
+					return d
+				}
+			}
+		}
+		return cand[0]
 	}
 }
 
@@ -232,8 +274,65 @@ func (m *MultiService) ActiveVPs() int {
 // Handle implements ipc.Handler: each request runs on the VP's device. With
 // the lifecycle hooks (RegisterVP on hello, DisconnectVP on hangup) this
 // makes the whole farm remotely servable — ipc.ServeEndpoint(l, m).
+// Farm-wide admission caps (Options.Admission.Farm*) are enforced here,
+// before routing: a farm drowning in queued work sheds new submissions no
+// matter which device they would land on.
 func (m *MultiService) Handle(vp int, req any) any {
+	if resp := m.admitFarm(vp, req); resp != nil {
+		return resp
+	}
 	return m.serviceFor(vp).Handle(vp, req)
+}
+
+// payloadBytes returns the host-side payload a request would pin while
+// queued (zero for requests that submit no payload-carrying job).
+func payloadBytes(req any) int {
+	switch r := req.(type) {
+	case ipc.H2DReq:
+		return len(r.Data)
+	case ipc.D2HReq:
+		return r.N
+	}
+	return 0
+}
+
+// submitsJob reports whether the request enqueues work (and so is subject to
+// queue-based admission caps). Mallocs, frees, and syncs pass freely.
+func submitsJob(req any) bool {
+	switch req.(type) {
+	case ipc.H2DReq, ipc.D2HReq, ipc.MemsetReq, ipc.LaunchReq:
+		return true
+	}
+	return false
+}
+
+// admitFarm sheds a submission when the farm-wide totals are at their caps.
+// It returns nil (admit; the device-level gate still applies) or the
+// ipc.OverloadResp to send. Farm totals are sampled across the devices'
+// admission gates — a snapshot, not a reservation: the per-device gates are
+// the precise bound, the farm cap is the coarse circuit breaker above them.
+func (m *MultiService) admitFarm(vp int, req any) any {
+	if !m.adm.farmEnabled() || !submitsJob(req) {
+		return nil
+	}
+	jobs, bytes := 0, int64(0)
+	for _, s := range m.services {
+		j, b := s.AdmissionLoad()
+		jobs += j
+		bytes += b
+	}
+	var oe *OverloadError
+	switch {
+	case m.adm.FarmMaxQueuedJobs > 0 && jobs >= m.adm.FarmMaxQueuedJobs:
+		oe = &OverloadError{VP: vp, Reason: "farm-jobs", Backoff: m.adm.retryAfter(), Retryable: true}
+	case m.adm.FarmMaxQueuedBytes > 0 && bytes+int64(payloadBytes(req)) > m.adm.FarmMaxQueuedBytes:
+		oe = &OverloadError{VP: vp, Reason: "farm-bytes", Backoff: m.adm.retryAfter(), Retryable: true}
+	default:
+		return nil
+	}
+	m.admReg.Counter("core.admission.shed").Inc()
+	m.admReg.Counter("core.admission.shed." + oe.Reason).Inc()
+	return ipc.OverloadResp{Msg: oe.Error(), Backoff: oe.Backoff, Retryable: oe.Retryable}
 }
 
 // Backend returns the cudart back end bound to the VP's device.
@@ -311,6 +410,22 @@ func (m *MultiService) ExecSnapshot() metrics.Snapshot {
 		parts = append(parts, devs[i].Prefixed(fmt.Sprintf("gpu%d.", i)))
 	}
 	parts = append(parts, metrics.MergeSnapshots(devs...))
+	return metrics.MergeSnapshots(parts...)
+}
+
+// AdmissionSnapshot returns the farm's admission view: each device's
+// core.admission.* instruments "gpu<i>."-prefixed, an unprefixed aggregate,
+// and the farm-level counters (farm-cap sheds, placement refusals) — kept
+// apart from Snapshot for the same byte-identity reason as ExecSnapshot.
+func (m *MultiService) AdmissionSnapshot() metrics.Snapshot {
+	devs := make([]metrics.Snapshot, len(m.services))
+	parts := make([]metrics.Snapshot, 0, len(m.services)+2)
+	for i, s := range m.services {
+		devs[i] = s.AdmissionMetrics().Snapshot()
+		parts = append(parts, devs[i].Prefixed(fmt.Sprintf("gpu%d.", i)))
+	}
+	parts = append(parts, metrics.MergeSnapshots(devs...))
+	parts = append(parts, m.admReg.Snapshot())
 	return metrics.MergeSnapshots(parts...)
 }
 

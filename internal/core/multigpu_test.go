@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/cudart"
+	"repro/internal/ipc"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/vp"
@@ -272,5 +273,101 @@ func TestMergedTrace(t *testing.T) {
 	}
 	if m2.MergedTrace() != nil {
 		t.Fatal("merged trace present with tracing off")
+	}
+}
+
+// TestPlacementRefusesOverQuotaDevice: a device at its admission cap is
+// skipped by placement until it drains, for every policy's candidate set.
+func TestPlacementRefusesOverQuotaDevice(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Admission = AdmissionOptions{DeviceMaxQueuedJobs: 1}
+	m, err := NewMultiService(opts, []arch.GPU{arch.Quadro4000(), arch.Quadro4000()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	// Fill device 0 to its cap.
+	if oe := m.Device(0).adm.admit(99, 0); oe != nil {
+		t.Fatalf("seed admit: %v", oe)
+	}
+	if !m.Device(0).OverQuota() {
+		t.Fatal("device 0 should be over quota")
+	}
+	// Round-robin would offer device 0 first; the refusal routes both new
+	// VPs to device 1.
+	m.RegisterVP(10)
+	m.RegisterVP(11)
+	for _, vp := range []int{10, 11} {
+		if d, ok := m.Assignment(vp); !ok || d != 1 {
+			t.Fatalf("vp %d placed on device %d, want 1", vp, d)
+		}
+	}
+	if got := m.admReg.Counter("core.admission.placement_refusals").Value(); got == 0 {
+		t.Fatal("placement refusals not counted")
+	}
+	// Draining the quota makes device 0 eligible again.
+	m.Device(0).adm.release(99, 0)
+	m.RegisterVP(12)
+	if d, _ := m.Assignment(12); d != 0 {
+		t.Fatalf("vp 12 placed on device %d, want 0 after drain", d)
+	}
+}
+
+// TestFarmCapSheds: the farm-wide circuit breaker sheds submissions once the
+// summed device loads hit the cap, no matter which device would serve them.
+func TestFarmCapSheds(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Admission = AdmissionOptions{FarmMaxQueuedJobs: 2, FarmMaxQueuedBytes: 256}
+	m, err := NewMultiService(opts, []arch.GPU{arch.Quadro4000(), arch.Quadro4000()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Load both devices' gates directly (reservation without dispatch).
+	if oe := m.Device(0).adm.admit(0, 100); oe != nil {
+		t.Fatal(oe)
+	}
+	resp := m.Handle(1, ipc.D2HReq{Src: 0x1000, N: 8})
+	if _, ok := resp.(ipc.OverloadResp); ok {
+		t.Fatalf("one job in a farm of cap 2 must admit, got %v", resp)
+	}
+	if oe := m.Device(1).adm.admit(1, 100); oe != nil {
+		t.Fatal(oe)
+	}
+
+	// Farm job cap reached: any submission sheds, non-submits pass.
+	or, ok := m.Handle(2, ipc.H2DReq{Dst: 0x1000, Data: make([]byte, 8)}).(ipc.OverloadResp)
+	if !ok {
+		t.Fatal("submission over farm job cap must shed")
+	}
+	if !or.Retryable || or.Backoff <= 0 {
+		t.Fatalf("farm shed = %+v, want retryable with backoff", or)
+	}
+	if _, ok := m.Handle(2, ipc.MallocReq{Size: 64}).(ipc.MallocResp); !ok {
+		t.Fatal("malloc must bypass queue-based caps")
+	}
+
+	// Release one job: under the job cap, but a big payload trips the byte
+	// cap (2 jobs × 100B reserved… now 100B + 200B request > 256B).
+	m.Device(0).adm.release(0, 100)
+	if _, ok := m.Handle(2, ipc.H2DReq{Dst: 0x1000, Data: make([]byte, 200)}).(ipc.OverloadResp); !ok {
+		t.Fatal("submission over farm byte cap must shed")
+	}
+	if got := m.admReg.Counter("core.admission.shed.farm-jobs").Value(); got != 1 {
+		t.Fatalf("shed.farm-jobs = %d", got)
+	}
+	if got := m.admReg.Counter("core.admission.shed.farm-bytes").Value(); got != 1 {
+		t.Fatalf("shed.farm-bytes = %d", got)
+	}
+	snap := m.AdmissionSnapshot()
+	found := false
+	for _, c := range snap.Counters {
+		if c.Name == "core.admission.shed" && c.Value >= 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("AdmissionSnapshot missing aggregated shed counter")
 	}
 }

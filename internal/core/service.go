@@ -63,6 +63,20 @@ type Options struct {
 	// are identical either way; off restores the synchronous path for
 	// bisection.
 	Pipeline bool
+
+	// Admission bounds what guests may keep in flight (per-VP/device/farm
+	// quotas and a token-bucket rate limit); excess requests are shed at the
+	// service door with a typed, retryable overload error instead of
+	// blocking an IPC worker. The zero value admits everything. Admission
+	// applies to the IPC serving path (Handle); in-process backends bypass
+	// it by design — they are the deterministic experiment harness.
+	Admission AdmissionOptions
+
+	// FairShare > 0 caps how many jobs one VP contributes per dispatched
+	// batch (weighted fair dequeue): a hot VP's overflow waits for the next
+	// batch instead of monopolising the round. 0 drains everything, the
+	// historical behaviour.
+	FairShare int
 }
 
 // DefaultOptions returns a fully-optimized service on a Quadro 4000.
@@ -111,6 +125,12 @@ type Service struct {
 	// runs snapshot byte-identically.
 	exec    *executor
 	execReg *metrics.Registry
+
+	// adm is the admission gate (nil with Options.Admission zero); admReg
+	// holds its wall-clock counters, separate from the simulated-work
+	// registry for the same byte-identity reason as execReg.
+	adm    *admission
+	admReg *metrics.Registry
 }
 
 // vpState is one VP's shard of the VP-control state.
@@ -162,6 +182,9 @@ func NewService(opts Options) *Service {
 	g.Metrics = reg
 	q := sched.NewQueue()
 	q.Metrics = reg
+	if opts.FairShare > 0 {
+		q.SetFairShare(opts.FairShare)
+	}
 	s := &Service{
 		GPU:     g,
 		opts:    opts,
@@ -169,6 +192,13 @@ func NewService(opts Options) *Service {
 		queue:   q,
 		vps:     map[int]*vpState{},
 		execReg: metrics.New(),
+		admReg:  metrics.New(),
+	}
+	// Farm caps are enforced by MultiService from sampled per-device loads,
+	// so they too need the per-service gate running (with every device knob
+	// zero it admits everything but still tracks reservations).
+	if opts.Admission.deviceEnabled() || opts.Admission.farmEnabled() {
+		s.adm = newAdmission(opts.Admission, s.admReg)
 	}
 	if opts.EstimateTarget != nil {
 		s.Estimator = NewEstimation(*opts.EstimateTarget)
@@ -241,6 +271,7 @@ func (s *Service) DisconnectVP(id int) {
 	// does on the synchronous path.
 	s.Drain()
 	for _, j := range s.queue.RemoveVP(id) {
+		s.releaseJob(j)
 		if !j.Done() {
 			j.Finish(fmt.Errorf("core: vp %d: %w", id, ErrCancelled))
 			s.metrics.Counter("core.jobs_cancelled").Inc()
@@ -372,6 +403,60 @@ func (s *Service) Close() {
 // guarantee. Empty (but never nil) with the pipeline off.
 func (s *Service) ExecMetrics() *metrics.Registry { return s.execReg }
 
+// AdmissionMetrics returns the admission registry (core.admission.*:
+// admitted/shed/throttled counters, reserved jobs/bytes gauges, shed-latency
+// histogram). Like ExecMetrics it is wall-clock state kept out of the
+// simulated-work registry: a contended and an uncontended run of the same
+// admitted workload must snapshot byte-identically. Empty (but never nil)
+// with admission off.
+func (s *Service) AdmissionMetrics() *metrics.Registry { return s.admReg }
+
+// AdmissionLoad returns the admission gate's device-wide reservation totals
+// (jobs, bytes); zero with admission off. Placement uses it to refuse
+// devices over their admission limit, and MultiService sums it for the
+// farm-wide caps.
+func (s *Service) AdmissionLoad() (jobs int, bytes int64) {
+	if s.adm == nil {
+		return 0, 0
+	}
+	return s.adm.load()
+}
+
+// OverQuota reports whether the device is at or over its device-wide job or
+// byte cap — the signal placement uses to route new VPs elsewhere.
+func (s *Service) OverQuota() bool {
+	if s.adm == nil {
+		return false
+	}
+	o := s.opts.Admission
+	jobs, bytes := s.adm.load()
+	return (o.DeviceMaxQueuedJobs > 0 && jobs >= o.DeviceMaxQueuedJobs) ||
+		(o.DeviceMaxQueuedBytes > 0 && bytes >= o.DeviceMaxQueuedBytes)
+}
+
+// admitJob passes one job through the admission gate. A nil return means the
+// job was admitted and now holds a quota reservation (released by the
+// dispatcher on completion or the disconnect path on cancellation). A
+// non-nil return is the ipc.OverloadResp to send instead of queueing.
+func (s *Service) admitJob(vp int, j *sched.Job) any {
+	if s.adm == nil {
+		return nil
+	}
+	if oe := s.adm.admit(vp, j.Bytes); oe != nil {
+		return ipc.OverloadResp{Msg: oe.Error(), Backoff: oe.Backoff, Retryable: oe.Retryable}
+	}
+	j.Admitted = true
+	return nil
+}
+
+// releaseJob returns an admitted job's quota reservation, exactly once.
+func (s *Service) releaseJob(j *sched.Job) {
+	if j.Admitted {
+		j.Admitted = false
+		s.adm.release(j.VP, j.Bytes)
+	}
+}
+
 // Snapshot drains the pipeline and snapshots the simulated-work registry —
 // the barrier form of Metrics().Snapshot().
 func (s *Service) Snapshot() metrics.Snapshot {
@@ -458,6 +543,7 @@ func (s *Service) dispatch(batch []*sched.Job) {
 	// intervals and finishes them.
 	lat := s.metrics.Histogram("core.dispatch_latency_s", metrics.LatencyBuckets)
 	for _, j := range orig {
+		s.releaseJob(j)
 		errMsg := ""
 		if j.Err != nil {
 			errMsg = j.Err.Error()
@@ -541,6 +627,9 @@ func (s *Service) Handle(vp int, req any) any {
 			return ipc.ErrResp{Msg: err.Error()}
 		}
 		j := sched.NewH2D(vp, stream, r.Dst, r.Off, r.Data)
+		if resp := s.admitJob(vp, j); resp != nil {
+			return resp
+		}
 		s.Submit(j)
 		if err := s.WaitJob(vp, j); err != nil {
 			return ipc.ErrResp{Msg: err.Error()}
@@ -552,6 +641,9 @@ func (s *Service) Handle(vp int, req any) any {
 			return ipc.ErrResp{Msg: err.Error()}
 		}
 		j := sched.NewD2H(vp, stream, r.Src, r.Off, r.N)
+		if resp := s.admitJob(vp, j); resp != nil {
+			return resp
+		}
 		s.Submit(j)
 		if err := s.WaitJob(vp, j); err != nil {
 			return ipc.ErrResp{Msg: err.Error()}
@@ -563,6 +655,9 @@ func (s *Service) Handle(vp int, req any) any {
 			return ipc.ErrResp{Msg: err.Error()}
 		}
 		j := sched.NewMemset(vp, stream, r.Dst, r.Off, r.N, r.Value)
+		if resp := s.admitJob(vp, j); resp != nil {
+			return resp
+		}
 		s.Submit(j)
 		if err := s.WaitJob(vp, j); err != nil {
 			return ipc.ErrResp{Msg: err.Error()}
@@ -572,6 +667,9 @@ func (s *Service) Handle(vp int, req any) any {
 		j, err := s.launchJob(vp, r)
 		if err != nil {
 			return ipc.ErrResp{Msg: err.Error()}
+		}
+		if resp := s.admitJob(vp, j); resp != nil {
+			return resp
 		}
 		s.Submit(j)
 		if err := s.WaitJob(vp, j); err != nil {

@@ -8,7 +8,9 @@ package cudart
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
+	"time"
 
 	"repro/internal/devmem"
 	"repro/internal/emul"
@@ -270,12 +272,29 @@ type remoteBackend struct {
 	// retries is the extra-attempt budget for idempotent requests that fail
 	// with a retryable transport error (timeout, disconnect).
 	retries int
-	m       *metrics.Registry // nil-safe: counters degrade to no-ops
+	// overloadRetries is the separate budget for requests the service shed
+	// with a retryable overload; maxBackoff caps each honoured backoff hint.
+	overloadRetries int
+	maxBackoff      time.Duration
+	m               *metrics.Registry // nil-safe: counters degrade to no-ops
+
+	// sleep is the backoff clock, swappable in tests; nil means time.Sleep.
+	sleep func(time.Duration)
 }
 
 // DefaultRetries is the remote back end's retry budget for idempotent
 // requests after transport faults.
 const DefaultRetries = 2
+
+// DefaultOverloadRetries is the retry budget for overload sheds. It is
+// deliberately separate from (and larger than) the transport budget: a shed
+// is a healthy server protecting itself, and backing off + retrying is the
+// designed response.
+const DefaultOverloadRetries = 4
+
+// DefaultMaxBackoff caps how long one honoured backoff hint can park the
+// caller, so a pathological server hint cannot wedge the guest.
+const DefaultMaxBackoff = 250 * time.Millisecond
 
 // NewRemoteBackend talks to a ΣVP service over an ipc.Client (socket or
 // in-process pipe). Operations are synchronous RPCs; the service's VP
@@ -301,10 +320,91 @@ func NewRemoteBackendMetrics(c ipc.Client, retries int, m *metrics.Registry) Bac
 	return newRemote(c, retries, m)
 }
 
+// RemoteOptions tunes the remote back end's retry contracts.
+type RemoteOptions struct {
+	// Retries is the idempotent-replay budget after transport faults
+	// (0 disables, matching NewRemoteBackendRetries(c, 0)).
+	Retries int
+	// OverloadRetries bounds backoff-and-resubmit rounds after retryable
+	// overload sheds; zero means DefaultOverloadRetries, negative disables.
+	OverloadRetries int
+	// MaxBackoff caps each honoured server backoff hint; zero means
+	// DefaultMaxBackoff.
+	MaxBackoff time.Duration
+	// Metrics counts replays (cudart.retries, cudart.retries_exhausted) and
+	// overload rounds (cudart.overload_retries, cudart.overload_exhausted).
+	Metrics *metrics.Registry
+}
+
+// NewRemoteBackendOpts builds a remote back end with explicit retry tuning.
+func NewRemoteBackendOpts(c ipc.Client, o RemoteOptions) Backend {
+	r := newRemote(c, o.Retries, o.Metrics).(*remoteBackend)
+	if o.OverloadRetries != 0 {
+		r.overloadRetries = o.OverloadRetries
+		if r.overloadRetries < 0 {
+			r.overloadRetries = 0
+		}
+	}
+	if o.MaxBackoff > 0 {
+		r.maxBackoff = o.MaxBackoff
+	}
+	return r
+}
+
 func newRemote(c ipc.Client, retries int, m *metrics.Registry) Backend {
-	r := &remoteBackend{c: c, retries: retries, m: m}
+	r := &remoteBackend{
+		c: c, retries: retries, m: m,
+		overloadRetries: DefaultOverloadRetries,
+		maxBackoff:      DefaultMaxBackoff,
+	}
 	r.tc, _ = c.(ipc.TypedCaller)
 	return r
+}
+
+// withOverloadRetry re-issues call while the service sheds it with a
+// *retryable* overload, honouring the server's suggested backoff with jitter
+// and per-attempt exponential growth. Unlike the transport-fault retry this
+// is safe for EVERY request kind, launches included: an overload shed means
+// the request was observably never admitted, so resubmission cannot
+// duplicate work. Non-retryable overloads (a request that can never fit the
+// configured quotas) surface to the application immediately.
+func withOverloadRetry[T any](r *remoteBackend, call func() (T, error)) (T, error) {
+	resp, err := call()
+	for attempt := 0; attempt < r.overloadRetries; attempt++ {
+		oe, ok := ipc.AsOverload(err)
+		if !ok || !oe.Retryable {
+			return resp, err
+		}
+		r.m.Counter("cudart.overload_retries").Inc()
+		r.backoff(oe.Backoff, attempt)
+		resp, err = call()
+	}
+	if oe, ok := ipc.AsOverload(err); ok && oe.Retryable {
+		r.m.Counter("cudart.overload_exhausted").Inc()
+	}
+	return resp, err
+}
+
+// backoff sleeps for the server's hint, doubled per prior attempt, capped at
+// maxBackoff, with ±50% jitter so a fleet of shed clients does not resubmit
+// in lockstep and re-create the very overload that shed them.
+func (r *remoteBackend) backoff(hint time.Duration, attempt int) {
+	d := hint
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	for i := 0; i < attempt && d < r.maxBackoff; i++ {
+		d *= 2
+	}
+	if r.maxBackoff > 0 && d > r.maxBackoff {
+		d = r.maxBackoff
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1)) // [d/2, d]
+	if r.sleep != nil {
+		r.sleep(d)
+	} else {
+		time.Sleep(d)
+	}
 }
 
 // callIdempotent issues a request, re-issuing it on retryable transport
@@ -353,13 +453,15 @@ func retryIdempotent[Req, Resp any](r *remoteBackend, req Req, call func(Req) (R
 func (r *remoteBackend) H2D(stream int, dst devmem.Ptr, off int, data []byte) (Token, error) {
 	req := ipc.H2DReq{Stream: stream, Dst: dst, Off: off, Data: data}
 	if r.tc != nil {
-		ok, err := retryIdempotent(r, req, r.tc.CallH2D)
+		ok, err := withOverloadRetry(r, func() (ipc.OKResp, error) {
+			return retryIdempotent(r, req, r.tc.CallH2D)
+		})
 		if err != nil {
 			return doneToken{err: err}, nil
 		}
 		return doneToken{iv: hostgpu.Interval{End: ok.End}}, nil
 	}
-	resp, err := r.callIdempotent(req)
+	resp, err := withOverloadRetry(r, func() (any, error) { return r.callIdempotent(req) })
 	if err != nil {
 		return doneToken{err: err}, nil
 	}
@@ -370,13 +472,15 @@ func (r *remoteBackend) H2D(stream int, dst devmem.Ptr, off int, data []byte) (T
 func (r *remoteBackend) D2H(stream int, src devmem.Ptr, off, n int) (Token, error) {
 	req := ipc.D2HReq{Stream: stream, Src: src, Off: off, N: n}
 	if r.tc != nil {
-		d, err := retryIdempotent(r, req, r.tc.CallD2H)
+		d, err := withOverloadRetry(r, func() (ipc.D2HResp, error) {
+			return retryIdempotent(r, req, r.tc.CallD2H)
+		})
 		if err != nil {
 			return doneToken{err: err}, nil
 		}
 		return doneToken{iv: hostgpu.Interval{End: d.End}, data: d.Data}, nil
 	}
-	resp, err := r.callIdempotent(req)
+	resp, err := withOverloadRetry(r, func() (any, error) { return r.callIdempotent(req) })
 	if err != nil {
 		return doneToken{err: err}, nil
 	}
@@ -387,13 +491,15 @@ func (r *remoteBackend) D2H(stream int, src devmem.Ptr, off, n int) (Token, erro
 func (r *remoteBackend) Memset(stream int, dst devmem.Ptr, off, n int, value byte) (Token, error) {
 	req := ipc.MemsetReq{Stream: stream, Dst: dst, Off: off, N: n, Value: value}
 	if r.tc != nil {
-		ok, err := retryIdempotent(r, req, r.tc.CallMemset)
+		ok, err := withOverloadRetry(r, func() (ipc.OKResp, error) {
+			return retryIdempotent(r, req, r.tc.CallMemset)
+		})
 		if err != nil {
 			return doneToken{err: err}, nil
 		}
 		return doneToken{iv: hostgpu.Interval{End: ok.End}}, nil
 	}
-	resp, err := r.callIdempotent(req)
+	resp, err := withOverloadRetry(r, func() (any, error) { return r.callIdempotent(req) })
 	if err != nil {
 		return doneToken{err: err}, nil
 	}
@@ -415,16 +521,18 @@ func (r *remoteBackend) Launch(stream int, l *hostgpu.Launch) (Token, error) {
 		Params:    l.Params,
 		Bindings:  l.Bindings,
 	}
-	// Launches are never replayed (re-running a kernel repeats its side
-	// effects), so the typed path is a single attempt, like Call.
+	// Launches are never replayed after *transport* faults (re-running a
+	// kernel repeats its side effects), so each attempt is a single shot.
+	// Overload sheds are different: a shed launch was never admitted, so the
+	// backoff-and-resubmit wrapper is safe even here.
 	if r.tc != nil {
-		ok, err := r.tc.CallLaunch(req)
+		ok, err := withOverloadRetry(r, func() (ipc.OKResp, error) { return r.tc.CallLaunch(req) })
 		if err != nil {
 			return doneToken{err: err}, nil
 		}
 		return doneToken{iv: hostgpu.Interval{End: ok.End}}, nil
 	}
-	resp, err := r.c.Call(req)
+	resp, err := withOverloadRetry(r, func() (any, error) { return r.c.Call(req) })
 	if err != nil {
 		return doneToken{err: err}, nil
 	}

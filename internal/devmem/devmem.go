@@ -6,12 +6,23 @@
 package devmem
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
 
 	"repro/internal/kpl"
 )
+
+// ErrBadAllocSize reports an allocation request whose size is non-positive or
+// so large that rounding it to the address-space granule would overflow int.
+// It is a request error, not an out-of-memory condition: no amount of freeing
+// makes such a request satisfiable.
+var ErrBadAllocSize = errors.New("devmem: bad allocation size")
+
+// maxAlloc is the largest request alignSpan can round up without the
+// (n + 255) sum wrapping negative.
+const maxAlloc = math.MaxInt - 255
 
 // Ptr is an opaque device pointer.
 type Ptr uint64
@@ -44,19 +55,24 @@ func New(capacity int64) *Mem {
 }
 
 // alignSpan rounds an allocation up to the address-space granule, keeping
-// allocations aligned and non-overlapping.
+// allocations aligned and non-overlapping. Callers must pre-validate
+// n ∈ [1, maxAlloc]: near MaxInt the (n + 255) sum wraps negative and the
+// span would silently collapse.
 func alignSpan(n int) Ptr { return Ptr((n + 255) &^ 255) }
 
 // Alloc reserves n bytes and returns the device pointer. Address space is
 // reused first-fit from freed regions; the bump pointer only grows when no
 // freed region fits, so a long-running alloc/free churn stays bounded.
+// Requests outside [1, maxAlloc] fail with ErrBadAllocSize.
 func (m *Mem) Alloc(n int) (Ptr, error) {
-	if n <= 0 {
-		return 0, fmt.Errorf("devmem: alloc of %d bytes", n)
+	if n <= 0 || n > maxAlloc {
+		return 0, fmt.Errorf("devmem: alloc of %d bytes: %w", n, ErrBadAllocSize)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.used+int64(n) > m.capacity {
+	// Compare against headroom rather than summing used+n, which can wrap
+	// negative when n is near MaxInt and admit an impossible allocation.
+	if int64(n) > m.capacity-m.used {
 		return 0, fmt.Errorf("devmem: out of memory: %d requested, %d free", n, m.capacity-m.used)
 	}
 	need := alignSpan(n)

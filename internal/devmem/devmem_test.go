@@ -2,6 +2,7 @@ package devmem
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -55,6 +56,86 @@ func TestAllocErrors(t *testing.T) {
 	}
 	if _, err := m.Alloc(128); err != nil {
 		t.Errorf("alloc after free failed: %v", err)
+	}
+}
+
+// TestAllocSizeValidation pins the Alloc input-validation contract: requests
+// outside [1, maxAlloc] fail with ErrBadAllocSize before touching allocator
+// state, and near-MaxInt requests cannot wrap either the alignment round in
+// alignSpan or the capacity check into a bogus success.
+func TestAllocSizeValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		n       int
+		wantBad bool // ErrBadAllocSize; otherwise plain out-of-memory
+	}{
+		{"zero", 0, true},
+		{"negative", -5, true},
+		{"min-int", math.MinInt, true},
+		{"max-int", math.MaxInt, true},
+		{"just-over-align-limit", maxAlloc + 1, true},
+		{"align-limit", maxAlloc, false},
+		{"huge-but-roundable", math.MaxInt - 256, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := New(1 << 20)
+			_, err := m.Alloc(tc.n)
+			if err == nil {
+				t.Fatalf("Alloc(%d) accepted", tc.n)
+			}
+			if got := errors.Is(err, ErrBadAllocSize); got != tc.wantBad {
+				t.Fatalf("Alloc(%d) = %v; ErrBadAllocSize = %v, want %v", tc.n, err, got, tc.wantBad)
+			}
+			if m.Used() != 0 {
+				t.Fatalf("failed alloc leaked accounting: Used = %d", m.Used())
+			}
+			if m.HighWater() != 0x1000 {
+				t.Fatalf("failed alloc moved bump pointer: %#x", uint64(m.HighWater()))
+			}
+			// The allocator must still work after rejecting the request.
+			if _, err := m.Alloc(64); err != nil {
+				t.Fatalf("alloc after rejection failed: %v", err)
+			}
+		})
+	}
+}
+
+// TestAllocCapacityNoOverflow pins the overflow-safe capacity comparison: a
+// near-MaxInt request against a nearly full device must report out-of-memory,
+// not wrap the used+n sum negative and hand out capacity that does not exist.
+func TestAllocCapacityNoOverflow(t *testing.T) {
+	m := New(1 << 20)
+	if _, err := m.Alloc(1 << 19); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.Alloc(maxAlloc)
+	if err == nil {
+		t.Fatal("near-MaxInt alloc accepted on a half-full device")
+	}
+	if errors.Is(err, ErrBadAllocSize) {
+		t.Fatalf("valid-sized request misclassified: %v", err)
+	}
+	if got := m.Used(); got != 1<<19 {
+		t.Fatalf("Used = %d after failed alloc", got)
+	}
+}
+
+func TestAlignSpanBoundary(t *testing.T) {
+	cases := []struct {
+		n    int
+		want Ptr
+	}{
+		{1, 256},
+		{255, 256},
+		{256, 256},
+		{257, 512},
+		{maxAlloc, Ptr(uint64(maxAlloc+255) &^ 255)},
+	}
+	for _, tc := range cases {
+		if got := alignSpan(tc.n); got != tc.want {
+			t.Errorf("alignSpan(%d) = %d, want %d", tc.n, got, tc.want)
+		}
 	}
 }
 

@@ -56,8 +56,15 @@ type pendingCall struct {
 	ok     OKResp
 	d2h    D2HResp
 	malloc MallocResp
+	over   OverloadResp
 	errMsg string
 	err    error // transport-level failure, nil on delivery
+}
+
+// overloadErr converts the slot's decoded OverloadResp into the typed error
+// the retry layers match with AsOverload.
+func (p *pendingCall) overloadErr() error {
+	return &OverloadError{Msg: p.over.Msg, Backoff: p.over.Backoff, Retryable: p.over.Retryable}
 }
 
 var pendingPool = sync.Pool{New: func() any {
@@ -70,7 +77,7 @@ var pendingPool = sync.Pool{New: func() any {
 
 func getPending() *pendingCall {
 	p := pendingPool.Get().(*pendingCall)
-	p.kind, p.ok, p.d2h, p.malloc, p.errMsg, p.err = 0, OKResp{}, D2HResp{}, MallocResp{}, "", nil
+	p.kind, p.ok, p.d2h, p.malloc, p.over, p.errMsg, p.err = 0, OKResp{}, D2HResp{}, MallocResp{}, OverloadResp{}, "", nil
 	return p
 }
 
@@ -223,6 +230,10 @@ func (c *binClient) readLoop(conn net.Conn, gen int) {
 			p.ok = OKResp{End: rd.float64()}
 		case msgErrResp:
 			p.errMsg = rd.string()
+		case msgOverloadResp:
+			p.over = OverloadResp{Msg: rd.string()}
+			p.over.Backoff = time.Duration(rd.varint())
+			p.over.Retryable = rd.byte() != 0
 		case msgMallocResp:
 			p.malloc = MallocResp{Ptr: devmem.Ptr(rd.uvarint())}
 		case msgD2HResp:
@@ -306,16 +317,21 @@ func (c *binClient) sendLocked(conn net.Conn, gen int, deadline time.Time) error
 	return nil
 }
 
-// await parks until the response is delivered or the deadline fires.
-// Timeout abandons only this call; other in-flight calls are untouched, and
-// the connection normally survives (the self-delimiting framing lets the
-// late response be discarded by ID). The exception is a connection with no
-// sign of life: if not a single frame arrived during the whole wait, the
-// peer is dead or wedged mid-frame (e.g. a corrupted length prefix made the
-// server swallow our requests as payload), so the connection is dropped and
-// the next call redials. Slot ownership: on a non-nil error the slot has
-// already been returned to the pool — the caller must not touch p again.
-// On nil the caller owns the slot (reads the response, then pools it).
+// await parks until the response is delivered or the deadline fires. The
+// deadline is HARD: the liveness heuristic below only decides whether the
+// connection is torn down on timeout, never whether this call keeps
+// waiting — a server that answers every request except this one (frames keep
+// arriving, recvSeq keeps advancing) still times this call out on schedule.
+// TestBinClientStarvedCallHardDeadline pins that property. Timeout abandons
+// only this call; other in-flight calls are untouched, and the connection
+// normally survives (the self-delimiting framing lets the late response be
+// discarded by ID). The exception is a connection with no sign of life: if
+// not a single frame arrived during the whole wait, the peer is dead or
+// wedged mid-frame (e.g. a corrupted length prefix made the server swallow
+// our requests as payload), so the connection is dropped and the next call
+// redials. Slot ownership: on a non-nil error the slot has already been
+// returned to the pool — the caller must not touch p again. On nil the
+// caller owns the slot (reads the response, then pools it).
 func (c *binClient) await(id uint64, p *pendingCall, gen int, deadline time.Time) error {
 	d := time.Until(deadline)
 	if d <= 0 {
@@ -393,6 +409,8 @@ func (c *binClient) Call(req any) (resp any, err error) {
 		return p.ok, nil
 	case msgErrResp:
 		return nil, fmt.Errorf("ipc: %s", p.errMsg)
+	case msgOverloadResp:
+		return nil, p.overloadErr()
 	case msgMallocResp:
 		return p.malloc, nil
 	case msgD2HResp:
@@ -410,6 +428,8 @@ func (c *binClient) okOrErr(p *pendingCall) (OKResp, error) {
 		return p.ok, nil
 	case msgErrResp:
 		return OKResp{}, fmt.Errorf("ipc: %s", p.errMsg)
+	case msgOverloadResp:
+		return OKResp{}, p.overloadErr()
 	}
 	return OKResp{}, wireError("unexpected response kind %d", p.kind)
 }
@@ -464,6 +484,8 @@ func (c *binClient) CallD2H(req D2HReq) (resp D2HResp, err error) {
 		return p.d2h, nil
 	case msgErrResp:
 		return D2HResp{}, fmt.Errorf("ipc: %s", p.errMsg)
+	case msgOverloadResp:
+		return D2HResp{}, p.overloadErr()
 	}
 	return D2HResp{}, wireError("unexpected response kind %d", p.kind)
 }

@@ -40,10 +40,38 @@ func (e *DisconnectError) Error() string {
 
 func (e *DisconnectError) Unwrap() error { return e.Cause }
 
+// OverloadError reports an admission-control rejection decoded from an
+// OverloadResp frame: the service shed the request at its door instead of
+// queueing it. Unlike a transport failure, the request was observably NEVER
+// admitted — so resubmitting a retryable overload is safe for every request
+// kind, launches included. Backoff is the server's suggested minimum wait;
+// Retryable false means the request can never be admitted under the current
+// server configuration (e.g. payload larger than the byte quota).
+type OverloadError struct {
+	Msg       string
+	Backoff   time.Duration
+	Retryable bool
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("ipc: overloaded: %s", e.Msg)
+}
+
+// AsOverload unwraps err to its *OverloadError, if it is one.
+func AsOverload(err error) (*OverloadError, bool) {
+	var oe *OverloadError
+	if errors.As(err, &oe) {
+		return oe, true
+	}
+	return nil, false
+}
+
 // IsRetryable reports whether err is a transport-level failure (timeout or
 // disconnect) after which re-issuing an *idempotent* request is safe. The
 // cudart layer uses it to retry copies and memsets but never launches or
-// allocations.
+// allocations. Overload sheds are deliberately NOT transport-retryable:
+// they follow a separate backoff-honouring retry contract (see AsOverload)
+// precisely because a shed request was never admitted.
 func IsRetryable(err error) bool {
 	if err == nil {
 		return false

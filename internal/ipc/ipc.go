@@ -85,6 +85,18 @@ type OKResp struct {
 // ErrResp reports a failure.
 type ErrResp struct{ Msg string }
 
+// OverloadResp reports an admission-control rejection: the service shed the
+// request instead of queueing it. Retryable sheds are transient quota/rate
+// pressure — the caller should back off at least Backoff and resubmit.
+// Non-retryable sheds (e.g. a payload larger than the byte quota) can never
+// be admitted and must surface to the application. Err converts this frame
+// into an *OverloadError.
+type OverloadResp struct {
+	Msg       string
+	Backoff   time.Duration
+	Retryable bool
+}
+
 // hello is the first frame of a TCP session, identifying the VP.
 type hello struct{ VP int }
 
@@ -115,6 +127,7 @@ func init() {
 	gob.Register(SyncReq{})
 	gob.Register(OKResp{})
 	gob.Register(ErrResp{})
+	gob.Register(OverloadResp{})
 	gob.Register(kpl.Value{})
 }
 
@@ -138,10 +151,14 @@ type TypedCaller interface {
 	CallLaunch(LaunchReq) (OKResp, error)
 }
 
-// Err converts an ErrResp into an error, passing other responses through.
+// Err converts an ErrResp or OverloadResp into an error, passing other
+// responses through.
 func Err(resp any) (any, error) {
-	if e, ok := resp.(ErrResp); ok {
+	switch e := resp.(type) {
+	case ErrResp:
 		return nil, fmt.Errorf("ipc: %s", e.Msg)
+	case OverloadResp:
+		return nil, &OverloadError{Msg: e.Msg, Backoff: e.Backoff, Retryable: e.Retryable}
 	}
 	return resp, nil
 }

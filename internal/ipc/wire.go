@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"repro/internal/devmem"
 	"repro/internal/kpl"
@@ -61,6 +62,7 @@ const (
 	msgSyncReq
 	msgOKResp
 	msgErrResp
+	msgOverloadResp
 )
 
 // ErrMalformedFrame is the sentinel for every binary-codec decode failure:
@@ -151,6 +153,15 @@ func appendMsg(buf []byte, id uint64, body any) ([]byte, error) {
 	case ErrResp:
 		buf = beginFrame(buf, msgErrResp, id)
 		buf = appendString(buf, m.Msg)
+	case OverloadResp:
+		buf = beginFrame(buf, msgOverloadResp, id)
+		buf = appendString(buf, m.Msg)
+		buf = binary.AppendVarint(buf, int64(m.Backoff))
+		retry := byte(0)
+		if m.Retryable {
+			retry = 1
+		}
+		buf = append(buf, retry)
 	default:
 		return buf, fmt.Errorf("ipc: binary codec cannot encode %T", body)
 	}
@@ -367,6 +378,11 @@ func decodeMsg(b []byte) (id uint64, body any, err error) {
 		return id, m, rd.done()
 	case msgErrResp:
 		m := ErrResp{Msg: rd.string()}
+		return id, m, rd.done()
+	case msgOverloadResp:
+		m := OverloadResp{Msg: rd.string()}
+		m.Backoff = time.Duration(rd.varint())
+		m.Retryable = rd.byte() != 0
 		return id, m, rd.done()
 	default:
 		return id, nil, wireError("unknown message type %d", typ)

@@ -35,6 +35,7 @@ func wireMessages() []any {
 		SyncReq{Stream: 7},
 		OKResp{End: 3.5},
 		ErrResp{Msg: "device out of memory"},
+		OverloadResp{Msg: "vp 3 overloaded", Backoff: 2500 * 1000, Retryable: true},
 		// Degenerate shapes.
 		H2DReq{},
 		LaunchReq{Kernel: "k"},
@@ -42,6 +43,8 @@ func wireMessages() []any {
 		ErrResp{},
 		SyncReq{Stream: -1},
 		OKResp{End: math.Inf(1)},
+		OverloadResp{},
+		OverloadResp{Msg: "payload too large", Backoff: -1, Retryable: false},
 	}
 }
 

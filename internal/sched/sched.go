@@ -74,6 +74,17 @@ type Job struct {
 	// execution start.
 	SubmitTime float64
 
+	// Bytes is the host-side payload the job pins while queued or in flight
+	// (an H2D's staged source buffer, a D2H's result buffer). Admission
+	// control charges it against per-VP byte quotas; zero for jobs that carry
+	// no host payload (launches, memsets, fills).
+	Bytes int
+
+	// Admitted marks a job that passed admission control and holds a quota
+	// reservation; the dispatcher (or disconnect cleanup) releases the
+	// reservation exactly once when the job leaves the system.
+	Admitted bool
+
 	seq  int
 	done chan struct{}
 
@@ -107,6 +118,7 @@ func newJob(vp, stream int, engine, label string) *Job {
 // NewH2D builds a host-to-device copy job.
 func NewH2D(vp, stream int, dst devmem.Ptr, off int, data []byte) *Job {
 	j := newJob(vp, stream, hostgpu.EngineH2D, fmt.Sprintf("vp%d H2D %dB", vp, len(data)))
+	j.Bytes = len(data)
 	j.Run = func(g *hostgpu.GPU) error {
 		iv, err := g.CopyH2D(stream, dst, off, data)
 		j.Interval = iv
@@ -118,6 +130,7 @@ func NewH2D(vp, stream int, dst devmem.Ptr, off int, data []byte) *Job {
 // NewD2H builds a device-to-host copy job; the bytes land in Job.Data.
 func NewD2H(vp, stream int, src devmem.Ptr, off, n int) *Job {
 	j := newJob(vp, stream, hostgpu.EngineD2H, fmt.Sprintf("vp%d D2H %dB", vp, n))
+	j.Bytes = n
 	j.Run = func(g *hostgpu.GPU) error {
 		data, iv, err := g.CopyD2H(stream, src, off, n)
 		j.Data = data
@@ -185,9 +198,11 @@ func (j *Job) Done() bool {
 
 // Queue accumulates jobs in arrival order. It is safe for concurrent use.
 type Queue struct {
-	mu      sync.Mutex
-	pending []*Job
-	nextSeq int
+	mu        sync.Mutex
+	pending   []*Job
+	nextSeq   int
+	fairShare int
+	weights   map[int]int
 
 	// Metrics optionally tracks queue depth and push counts; nil is a no-op.
 	Metrics *metrics.Registry
@@ -207,11 +222,68 @@ func (q *Queue) Push(j *Job) {
 	q.Metrics.Gauge("sched.queue_depth").Add(1)
 }
 
-// DrainBatch removes and returns all pending jobs in arrival order.
+// SetFairShare bounds how many jobs any single VP may contribute to one
+// drained batch (multiplied by the VP's weight; see SetWeight). Jobs beyond a
+// VP's share stay queued, in arrival order, for the next batch — so a hot VP
+// flooding the queue cannot monopolise a dispatch round. limit <= 0 restores
+// the default drain-everything behaviour. Call before serving traffic: the
+// share is read under the queue lock but changing it mid-stream changes batch
+// composition.
+func (q *Queue) SetFairShare(limit int) {
+	q.mu.Lock()
+	q.fairShare = limit
+	q.mu.Unlock()
+}
+
+// SetWeight scales one VP's fair share: a VP with weight w may contribute up
+// to w*fairShare jobs per drained batch. Weights below 1 are clamped to 1;
+// unset VPs default to weight 1.
+func (q *Queue) SetWeight(vp, weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	q.mu.Lock()
+	if q.weights == nil {
+		q.weights = make(map[int]int)
+	}
+	q.weights[vp] = weight
+	q.mu.Unlock()
+}
+
+// DrainBatch removes and returns pending jobs in arrival order. With a fair
+// share configured (SetFairShare), each VP contributes at most its weighted
+// share to the batch and the overflow stays queued; otherwise the whole queue
+// drains. The result is never empty while jobs are pending: the first pending
+// job always fits its VP's share (share >= 1), so callers looping
+// "drain-until-empty" terminate.
 func (q *Queue) DrainBatch() []*Job {
 	q.mu.Lock()
-	out := q.pending
-	q.pending = nil
+	var out []*Job
+	if q.fairShare <= 0 {
+		out = q.pending
+		q.pending = nil
+	} else {
+		taken := make(map[int]int, 8)
+		kept := q.pending[:0]
+		for _, j := range q.pending {
+			share := q.fairShare
+			if w, ok := q.weights[j.VP]; ok {
+				share *= w
+			}
+			if taken[j.VP] < share {
+				taken[j.VP]++
+				out = append(out, j)
+			} else {
+				kept = append(kept, j)
+			}
+		}
+		// Zero the freed tail so deferred *Job values don't pin their
+		// payloads past their actual dequeue.
+		for i := len(kept); i < len(q.pending); i++ {
+			q.pending[i] = nil
+		}
+		q.pending = kept
+	}
 	q.mu.Unlock()
 	if len(out) > 0 {
 		q.Metrics.Gauge("sched.queue_depth").Sub(int64(len(out)))
