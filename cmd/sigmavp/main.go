@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	sigmavp [-scale N] [-workers N] table1|fig3|fig9a|fig9b|fig10a|fig10b|fig11|fig12|fig13|sweep|scaling|multigpu|faults|overload|all
+//	sigmavp [-scale N] [-workers N] table1|fig3|fig9a|fig9b|fig10a|fig10b|fig11|fig12|fig13|sweep|scaling|multigpu|faults|overload|migrate|checkpoint|all
 //
 // "multigpu" runs the multi-GPU serving study: the same -vps VP fleet with a
 // mixed workload served by 1, 2, and 4 host GPUs through a core.MultiService,
@@ -19,6 +19,14 @@
 // runs a deterministic workload; the drill verifies bounded queues, typed
 // retryable sheds with backoff hints, and byte-identical victim artifacts
 // versus an uncontended run. Like "faults", it is excluded from "all".
+//
+// "migrate" runs the live-migration drill: a -vps VP fleet with the mixed
+// workload on a 4-device farm, force-migrated between devices at iteration
+// barriers (including a victim moved onto a device at -oversub×
+// oversubscription), split across a checkpoint→restore into a fresh farm,
+// and required to produce byte-identical D2H outputs versus an untouched
+// run. "checkpoint" runs just the save→restore leg and sizes the encoded
+// image under both -ckpt-codec codecs. Both are excluded from "all".
 //
 // -workers sizes the experiment-harness worker pool (0 = one worker per CPU,
 // 1 = serial). Results are identical for every value; only wall-clock changes.
@@ -38,6 +46,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/ipc"
 )
@@ -51,12 +60,13 @@ func main() {
 	faults := flag.String("faults", "seed=1,drop=0.05,delay=0.2,maxdelay=5ms,corrupt=0.02,disconnect=0.02",
 		"fault-injection spec for the faults drill (key=value pairs; see internal/ipc.ParseFaults)")
 	codecName := flag.String("codec", "binary", "wire codec for the faults drill: binary or gob")
-	oversub := flag.Int("oversub", 4, "oversubscription factor for the overload drill (multiple of the per-VP job quota)")
+	oversub := flag.Int("oversub", 4, "oversubscription factor for the overload and migrate drills (multiple of the per-VP job quota)")
+	ckptCodecName := flag.String("ckpt-codec", "binary", "checkpoint codec for the migrate and checkpoint drills: gob or binary")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	metricsFile := flag.String("metrics", "", "write the harness metrics snapshot (JSON) to this file on exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sigmavp [-scale N] [-workers N] [-faults SPEC] [-codec binary|gob] [-metrics FILE] [-cpuprofile FILE] [-memprofile FILE] table1|fig3|fig9a|fig9b|fig10a|fig10b|fig11|fig12|fig13|sweep|scaling|multigpu|faults|overload|all\n")
+		fmt.Fprintf(os.Stderr, "usage: sigmavp [-scale N] [-workers N] [-faults SPEC] [-codec binary|gob] [-metrics FILE] [-cpuprofile FILE] [-memprofile FILE] table1|fig3|fig9a|fig9b|fig10a|fig10b|fig11|fig12|fig13|sweep|scaling|multigpu|faults|overload|migrate|checkpoint|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -91,10 +101,24 @@ func main() {
 		"overload": func() (fmt.Stringer, error) {
 			return experiments.OverloadDrill(*oversub, 4)
 		},
+		"migrate": func() (fmt.Stringer, error) {
+			codec, err := core.ParseCheckpointCodec(*ckptCodecName)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.MigrationDrill(*vps, *scale, *oversub, codec)
+		},
+		"checkpoint": func() (fmt.Stringer, error) {
+			codec, err := core.ParseCheckpointCodec(*ckptCodecName)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.CheckpointDrill(*vps, *scale, codec)
+		},
 	}
-	// "faults" and "overload" are deliberately absent: they are robustness
-	// drills, not paper artifacts, and must not perturb `sigmavp all`
-	// regeneration output.
+	// "faults", "overload", "migrate", and "checkpoint" are deliberately
+	// absent: they are robustness drills, not paper artifacts, and must not
+	// perturb `sigmavp all` regeneration output.
 	order := []string{"table1", "fig3", "fig9a", "fig9b", "fig10a", "fig10b", "fig11", "fig12", "fig13", "sweep", "scaling", "multigpu"}
 
 	what := flag.Arg(0)

@@ -23,6 +23,8 @@
 //
 //	sigmavpd [-listen 127.0.0.1:7075] [-http ADDR] [-arch quadro|k520|tegra] [-gpus N|LIST] [-placement POLICY] [-baseline] [-pipeline=false]
 //	         [-max-queued N] [-max-queued-bytes N] [-farm-max-queued N] [-farm-max-queued-bytes N] [-rate R] [-burst N] [-fair N]
+//	         [-rebalance] [-rebalance-interval D] [-rebalance-threshold R]
+//	         [-restore FILE] [-checkpoint-out FILE] [-checkpoint-codec gob|binary]
 //
 // The admission flags bound what guests may keep in flight (0 = unlimited):
 // -max-queued/-max-queued-bytes cap each VP's admitted jobs and pinned host
@@ -31,6 +33,17 @@
 // jobs one VP contributes per dispatched batch (weighted fair dequeue). Shed
 // requests receive a typed, retryable overload response with a backoff hint;
 // the cudart client honours the hint and resubmits transparently.
+//
+// Checkpoint/restore and live migration (DESIGN.md §15): -checkpoint-out
+// serializes every VP's device-side state (allocations, buffer bytes, stream
+// clocks) to a file during shutdown, and -restore replays such a file at
+// startup, so a daemon restart resumes its fleet where it left off. With
+// -gpus, -rebalance turns on the online rebalancer: a background loop that
+// live-migrates VPs from the hottest device to the coldest whenever the load
+// skew exceeds -rebalance-threshold, using the same load signals as the
+// least-loaded placement policy. Clients never observe a migration beyond
+// latency: guest pointers stay valid (rebased transparently if the target
+// arena cannot honour the original address) and in-flight jobs drain first.
 package main
 
 import (
@@ -71,7 +84,23 @@ func main() {
 	rate := flag.Float64("rate", 0, "per-VP sustained submission rate limit in jobs/second (0 = unlimited)")
 	burst := flag.Int("burst", 0, "token-bucket burst for -rate (0 = derived from the rate)")
 	fair := flag.Int("fair", 0, "fair-dequeue share: max jobs one VP contributes per dispatched batch (0 = unlimited)")
+	rebalance := flag.Bool("rebalance", false, "multi-GPU only: run the online rebalancer, live-migrating VPs between devices when load skew exceeds the threshold")
+	rebalanceInterval := flag.Duration("rebalance-interval", core.DefaultRebalanceInterval, "period of the online rebalancer loop")
+	rebalanceThreshold := flag.Float64("rebalance-threshold", core.DefaultRebalanceThreshold, "hot/cold load-score ratio that triggers a migration")
+	restorePath := flag.String("restore", "", "restore device-side VP state from this checkpoint file at startup")
+	checkpointOut := flag.String("checkpoint-out", "", "write a checkpoint of device-side VP state to this file on shutdown")
+	checkpointCodec := flag.String("checkpoint-codec", "binary", "serialization for -checkpoint-out: gob or binary")
 	flag.Parse()
+
+	ckCodec, err := core.ParseCheckpointCodec(*checkpointCodec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sigmavpd: -checkpoint-codec: %v\n", err)
+		os.Exit(2)
+	}
+	if *rebalance && *gpusFlag == "" {
+		fmt.Fprintln(os.Stderr, "sigmavpd: -rebalance requires -gpus (a single device has nowhere to migrate)")
+		os.Exit(2)
+	}
 
 	opts := core.DefaultOptions()
 	hostArch, err := arch.Preset(*archName)
@@ -102,14 +131,18 @@ func main() {
 	// Both serving shapes collapse onto one ipc.Endpoint plus snapshot and
 	// trace accessors; everything below this block is shape-agnostic.
 	var (
-		ep       ipc.Endpoint
-		snap     func() metrics.Snapshot
-		execSnap func() metrics.Snapshot
-		admSnap  func() metrics.Snapshot
-		traceOf  func() *trace.Log
-		syncOf   func() float64
-		closer   func()
-		banner   string
+		ep        ipc.Endpoint
+		snap      func() metrics.Snapshot
+		execSnap  func() metrics.Snapshot
+		admSnap   func() metrics.Snapshot
+		migSnap   func() metrics.Snapshot
+		traceOf   func() *trace.Log
+		syncOf    func() float64
+		closer    func()
+		banner    string
+		ckptOf    func() (*core.Checkpoint, error)
+		restoreFn func(*core.Checkpoint) error
+		stopReb   = func() {}
 	)
 	if *gpusFlag == "" {
 		svc := core.NewService(opts)
@@ -117,10 +150,13 @@ func main() {
 		snap = svc.Snapshot
 		execSnap = func() metrics.Snapshot { return svc.ExecMetrics().Snapshot() }
 		admSnap = func() metrics.Snapshot { return svc.AdmissionMetrics().Snapshot() }
+		migSnap = func() metrics.Snapshot { return metrics.Snapshot{} }
 		traceOf = svc.Trace
 		syncOf = svc.Sync
 		closer = svc.Close
 		banner = opts.Arch.Name
+		ckptOf = svc.CheckpointAll
+		restoreFn = svc.RestoreAll
 	} else {
 		gpus, err := parseGPUs(*gpusFlag, hostArch)
 		if err != nil {
@@ -141,6 +177,7 @@ func main() {
 		snap = ms.Snapshot
 		execSnap = ms.ExecSnapshot
 		admSnap = ms.AdmissionSnapshot
+		migSnap = ms.MigrationSnapshot
 		traceOf = ms.MergedTrace
 		syncOf = ms.Sync
 		closer = ms.Close
@@ -149,6 +186,28 @@ func main() {
 			names[i] = g.Name
 		}
 		banner = fmt.Sprintf("%d GPUs [%s], %s placement", len(gpus), strings.Join(names, ", "), placement)
+		ckptOf = ms.Checkpoint
+		restoreFn = ms.Restore
+		if *rebalance {
+			stopReb = ms.StartRebalancer(core.RebalanceOptions{
+				Threshold: *rebalanceThreshold,
+				Interval:  *rebalanceInterval,
+			})
+			banner += fmt.Sprintf(", rebalance every %v (threshold %.2g)", *rebalanceInterval, *rebalanceThreshold)
+		}
+	}
+
+	if *restorePath != "" {
+		ck, err := core.LoadCheckpoint(*restorePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sigmavpd: -restore: %v\n", err)
+			os.Exit(1)
+		}
+		if err := restoreFn(ck); err != nil {
+			fmt.Fprintf(os.Stderr, "sigmavpd: -restore: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("sigmavpd: restored %d VPs from %s\n", len(ck.VPs), *restorePath)
 	}
 
 	l, err := net.Listen("tcp", *listen)
@@ -171,7 +230,7 @@ func main() {
 	// gauges), so farm saturation and shedding are observable remotely; like
 	// the transport counters they live outside the simulated-work registry.
 	fullSnap := func() metrics.Snapshot {
-		return metrics.MergeSnapshots(snap(), execSnap(), admSnap(), transport.Snapshot())
+		return metrics.MergeSnapshots(snap(), execSnap(), admSnap(), migSnap(), transport.Snapshot())
 	}
 	fmt.Printf("sigmavpd: serving %s on %s (optimizations %v)\n", banner, srv.Addr(), !*baseline)
 
@@ -191,7 +250,21 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
 	fmt.Printf("sigmavpd: %v: draining (grace %v)\n", s, *grace)
-	if err := shutdown(srv, obs, closer, fullSnap, *grace, *metricsOut); err != nil {
+	var saveCkpt func() error
+	if *checkpointOut != "" {
+		saveCkpt = func() error {
+			ck, err := ckptOf()
+			if err != nil {
+				return err
+			}
+			if err := core.SaveCheckpoint(*checkpointOut, ck, ckCodec); err != nil {
+				return err
+			}
+			fmt.Printf("sigmavpd: checkpointed %d VPs to %s (%s)\n", len(ck.VPs), *checkpointOut, ckCodec)
+			return nil
+		}
+	}
+	if err := shutdown(srv, obs, stopReb, saveCkpt, closer, fullSnap, *grace, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "sigmavpd: shutdown:", err)
 		os.Exit(1)
 	}
@@ -228,12 +301,23 @@ func parseGPUs(spec string, def arch.GPU) ([]arch.GPU, error) {
 // snapshot flushed. Before this sequence existed the daemon died mid-frame
 // on SIGINT, which clients observed as a decode error instead of a clean
 // disconnect.
-func shutdown(srv *ipc.Server, obs *http.Server, closer func(), snap func() metrics.Snapshot, grace time.Duration, metricsOut string) error {
+func shutdown(srv *ipc.Server, obs *http.Server, stopReb func(), saveCkpt func() error, closer func(), snap func() metrics.Snapshot, grace time.Duration, metricsOut string) error {
 	if obs != nil {
 		obs.Close()
 	}
 	if err := srv.Shutdown(grace); err != nil {
 		return err
+	}
+	// The rebalancer must stop before the checkpoint is cut: a migration
+	// racing the final snapshot would be lost from it.
+	stopReb()
+	// Checkpoint after the last request drains (the device-side state is
+	// final) but before the pipelines stop, since the checkpoint itself
+	// flushes through them.
+	if saveCkpt != nil {
+		if err := saveCkpt(); err != nil {
+			return err
+		}
 	}
 	// Stop the execution pipelines after the last request drains, before the
 	// final snapshot, so every batch's accounting is in it.

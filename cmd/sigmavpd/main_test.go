@@ -44,7 +44,7 @@ func TestGracefulShutdown(t *testing.T) {
 
 	out := filepath.Join(t.TempDir(), "metrics.json")
 	snapFn := func() metrics.Snapshot { return svc.Metrics().Snapshot() }
-	if err := shutdown(srv, nil, svc.Close, snapFn, 2*time.Second, out); err != nil {
+	if err := shutdown(srv, nil, func() {}, nil, svc.Close, snapFn, 2*time.Second, out); err != nil {
 		t.Fatal(err)
 	}
 
@@ -238,7 +238,7 @@ func TestMultiGPUDaemon(t *testing.T) {
 	}
 
 	out := filepath.Join(t.TempDir(), "metrics.json")
-	if err := shutdown(srv, nil, ms.Close, fullSnap, 2*time.Second, out); err != nil {
+	if err := shutdown(srv, nil, func() {}, nil, ms.Close, fullSnap, 2*time.Second, out); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(out); err != nil {
@@ -316,7 +316,7 @@ func TestDaemonAdmissionFlags(t *testing.T) {
 		t.Fatal("merged snapshot missing admission admitted counter")
 	}
 
-	if err := shutdown(srv, nil, svc.Close, fullSnap, 2*time.Second, ""); err != nil {
+	if err := shutdown(srv, nil, func() {}, nil, svc.Close, fullSnap, 2*time.Second, ""); err != nil {
 		t.Fatal(err)
 	}
 }

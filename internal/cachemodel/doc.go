@@ -1,0 +1,11 @@
+// Package cachemodel implements the probabilistic data-cache behaviour model
+// the paper adopts from Puranik et al. [17] to refine its timing estimate
+// C″ (Eq. 5): given a description of how a kernel addresses each buffer, it
+// predicts the cache miss count and the resulting data-dependency stall
+// cycles Υ[data] for a particular cache geometry.
+//
+// The model is deliberately analytic and deterministic — the same
+// expressions evaluate for the host GPU (removing host stalls) and for the
+// target GPU (adding target stalls), which is exactly the term swap of
+// Eq. 5: C″ = C′ − Υ[data]{K,H} + Υ[data]{K,T}.
+package cachemodel

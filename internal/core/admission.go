@@ -9,6 +9,7 @@
 // simulated-work registry must stay byte-identical between a contended and an
 // uncontended run of the same admitted workload, and shed attempts must never
 // perturb it.
+
 package core
 
 import (
@@ -107,6 +108,8 @@ type OverloadError struct {
 	Retryable bool
 }
 
+// Error renders the rejection with its reason, backoff hint, and
+// retryability.
 func (e *OverloadError) Error() string {
 	kind := "retry after backoff"
 	if !e.Retryable {

@@ -43,15 +43,15 @@ func (t jobToken) Wait() error                { return t.s.WaitJob(t.vp, t.j) }
 func (t jobToken) Interval() hostgpu.Interval { return t.j.Interval }
 func (t jobToken) Bytes() []byte              { return t.j.Data }
 
-func (b *serviceBackend) Malloc(n int) (devmem.Ptr, error) { return b.s.GPU.Mem.Alloc(n) }
-func (b *serviceBackend) Free(p devmem.Ptr) error          { return b.s.GPU.Mem.Free(p) }
+func (b *serviceBackend) Malloc(n int) (devmem.Ptr, error) { return b.s.AllocVP(b.vp, n) }
+func (b *serviceBackend) Free(p devmem.Ptr) error          { return b.s.FreeVP(b.vp, p) }
 
 func (b *serviceBackend) H2D(stream int, dst devmem.Ptr, off int, data []byte) (cudart.Token, error) {
 	dev, err := streamOf(b.vp, stream)
 	if err != nil {
 		return nil, err
 	}
-	j := sched.NewH2D(b.vp, dev, dst, off, data)
+	j := sched.NewH2D(b.vp, dev, b.s.ResolvePtr(b.vp, dst), off, data)
 	b.s.Submit(j)
 	return jobToken{s: b.s, vp: b.vp, j: j}, nil
 }
@@ -61,7 +61,7 @@ func (b *serviceBackend) D2H(stream int, src devmem.Ptr, off, n int) (cudart.Tok
 	if err != nil {
 		return nil, err
 	}
-	j := sched.NewD2H(b.vp, dev, src, off, n)
+	j := sched.NewD2H(b.vp, dev, b.s.ResolvePtr(b.vp, src), off, n)
 	b.s.Submit(j)
 	return jobToken{s: b.s, vp: b.vp, j: j}, nil
 }
@@ -71,7 +71,7 @@ func (b *serviceBackend) Memset(stream int, dst devmem.Ptr, off, n int, value by
 	if err != nil {
 		return nil, err
 	}
-	j := sched.NewMemset(b.vp, dev, dst, off, n, value)
+	j := sched.NewMemset(b.vp, dev, b.s.ResolvePtr(b.vp, dst), off, n, value)
 	b.s.Submit(j)
 	return jobToken{s: b.s, vp: b.vp, j: j}, nil
 }
@@ -80,6 +80,13 @@ func (b *serviceBackend) Launch(stream int, l *hostgpu.Launch) (cudart.Token, er
 	dev, err := streamOf(b.vp, stream)
 	if err != nil {
 		return nil, err
+	}
+	if resolved, changed := b.s.resolveBindingsChanged(b.vp, l.Bindings); changed {
+		// Rebased pointers: bind the kernel to the relocated device
+		// addresses without mutating the caller's launch.
+		moved := *l
+		moved.Bindings = resolved
+		l = &moved
 	}
 	j := sched.NewKernel(b.vp, dev, l)
 	// The Kernel Match stage needs the coalescability of the kernel, which

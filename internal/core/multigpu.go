@@ -39,6 +39,7 @@ const (
 	PlaceMemAware
 )
 
+// String returns the policy's flag vocabulary name.
 func (p PlacementPolicy) String() string {
 	switch p {
 	case PlaceLeastLoaded:
@@ -96,6 +97,14 @@ type MultiService struct {
 	// admReg counts farm-level sheds, merged into AdmissionSnapshot.
 	adm    AdmissionOptions
 	admReg *metrics.Registry
+
+	// gates are the per-VP migration gates: request handling holds a VP's
+	// gate shared, Migrate holds it exclusive (see migrate.go). migReg
+	// counts migrations and rebalancer activity (core.migrate.*), kept
+	// apart from the simulated-work registries like admReg is.
+	gateMu sync.Mutex
+	gates  map[int]*sync.RWMutex
+	migReg *metrics.Registry
 }
 
 // NewMultiService builds one service per host GPU descriptor with the
@@ -117,6 +126,8 @@ func NewMultiServicePlaced(opts Options, gpus []arch.GPU, placement PlacementPol
 		vpCount:   make([]int, len(gpus)),
 		adm:       opts.Admission,
 		admReg:    metrics.New(),
+		gates:     map[int]*sync.RWMutex{},
+		migReg:    metrics.New(),
 	}
 	for _, g := range gpus {
 		o := opts
@@ -236,12 +247,18 @@ func (m *MultiService) serviceFor(vp int) *Service {
 // RegisterVP assigns the VP to a device and announces it there. Safe to call
 // from concurrent connection handlers.
 func (m *MultiService) RegisterVP(id int) {
+	g := m.gate(id)
+	g.RLock()
+	defer g.RUnlock()
 	m.serviceFor(id).RegisterVP(id)
 }
 
 // UnregisterVP removes the VP from its device at a clean point. The device
 // assignment itself is retained for reconnects.
 func (m *MultiService) UnregisterVP(id int) {
+	g := m.gate(id)
+	g.RLock()
+	defer g.RUnlock()
 	m.mu.RLock()
 	d, ok := m.byVP[id]
 	m.mu.RUnlock()
@@ -254,6 +271,9 @@ func (m *MultiService) UnregisterVP(id int) {
 // jobs on its device (see Service.DisconnectVP). Use it as the ipc server's
 // disconnect hook.
 func (m *MultiService) DisconnectVP(id int) {
+	g := m.gate(id)
+	g.RLock()
+	defer g.RUnlock()
 	m.mu.RLock()
 	d, ok := m.byVP[id]
 	m.mu.RUnlock()
@@ -278,6 +298,33 @@ func (m *MultiService) ActiveVPs() int {
 // before routing: a farm drowning in queued work sheds new submissions no
 // matter which device they would land on.
 func (m *MultiService) Handle(vp int, req any) any {
+	// Farm-admin requests run outside the caller's migration gate:
+	// Migrate/Checkpoint acquire gates themselves, and holding the sender's
+	// gate here would deadlock a VP asking to migrate itself.
+	switch r := req.(type) {
+	case ipc.MigrateReq:
+		if err := m.Migrate(r.VP, r.Target); err != nil {
+			return ipc.ErrResp{Msg: err.Error()}
+		}
+		return ipc.OKResp{}
+	case ipc.CheckpointReq:
+		codec, err := ParseCheckpointCodec(r.Codec)
+		if err != nil {
+			return ipc.ErrResp{Msg: err.Error()}
+		}
+		ck, err := m.Checkpoint()
+		if err != nil {
+			return ipc.ErrResp{Msg: err.Error()}
+		}
+		data, err := ck.Encode(codec)
+		if err != nil {
+			return ipc.ErrResp{Msg: err.Error()}
+		}
+		return ipc.CheckpointResp{Data: data}
+	}
+	g := m.gate(vp)
+	g.RLock()
+	defer g.RUnlock()
 	if resp := m.admitFarm(vp, req); resp != nil {
 		return resp
 	}

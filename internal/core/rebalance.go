@@ -1,0 +1,147 @@
+package core
+
+// The online rebalancer: an opt-in policy loop that migrates VPs when the
+// load skew between devices exceeds a threshold, closing the gap PR 7 left
+// open — placement decisions were sticky forever, so a farm whose load
+// shifted after registration stayed imbalanced. Determinism caveat: the
+// background loop samples wall-clock load at wall-clock intervals, so WHICH
+// migrations it performs (and therefore device-local metrics and traces)
+// varies run to run; workloads needing byte-identical artifacts leave it
+// off and call Rebalance (or Migrate) at deterministic points, as the
+// migration drill does. Migration safety never depends on timing — every
+// move quiesces behind the per-VP gate either way.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// RebalanceOptions tune the online rebalancer.
+type RebalanceOptions struct {
+	// Threshold is the hot/cold load-score ratio that triggers a move
+	// (e.g. 1.5 = migrate when the hottest device carries 50% more load
+	// than the coldest). Values <= 1 use DefaultRebalanceThreshold.
+	Threshold float64
+	// MaxMoves caps migrations per pass; 0 means 1.
+	MaxMoves int
+	// Interval is the background loop period for StartRebalancer; 0 uses
+	// DefaultRebalanceInterval.
+	Interval time.Duration
+}
+
+// Rebalancer defaults.
+const (
+	DefaultRebalanceThreshold = 1.5
+	DefaultRebalanceInterval  = 5 * time.Second
+)
+
+// loadScore is the device-load estimate the rebalancer compares: queued
+// work plus accumulated simulated busy time — the same signals
+// PlaceLeastLoaded scores by (PR 7).
+func (m *MultiService) loadScore(d int) float64 {
+	s := m.services[d]
+	return float64(s.QueuedJobs()) + s.BusySeconds()
+}
+
+// Rebalance runs one rebalancing pass: while the hottest device's load
+// score exceeds Threshold × the coldest's, migrate one VP from hot to cold
+// (deterministically the lowest-id VP whose resident bytes fit the cold
+// device's headroom), up to MaxMoves moves. It returns the number of
+// migrations performed. Single-device farms never move anything.
+func (m *MultiService) Rebalance(o RebalanceOptions) (int, error) {
+	if o.Threshold <= 1 {
+		o.Threshold = DefaultRebalanceThreshold
+	}
+	maxMoves := o.MaxMoves
+	if maxMoves <= 0 {
+		maxMoves = 1
+	}
+	m.migReg.Counter("core.migrate.rebalance_passes").Inc()
+	moves := 0
+	for moves < maxMoves && len(m.services) > 1 {
+		hot, cold := 0, 0
+		for d := 1; d < len(m.services); d++ {
+			if m.loadScore(d) > m.loadScore(hot) {
+				hot = d
+			}
+			if m.loadScore(d) < m.loadScore(cold) {
+				cold = d
+			}
+		}
+		hotScore, coldScore := m.loadScore(hot), m.loadScore(cold)
+		if hot == cold || hotScore <= o.Threshold*coldScore {
+			break
+		}
+		vp, ok := m.pickMigrant(hot, cold)
+		if !ok {
+			break
+		}
+		if err := m.Migrate(vp, cold); err != nil {
+			return moves, fmt.Errorf("core: rebalance: %w", err)
+		}
+		m.migReg.Counter("core.migrate.rebalance_moves").Inc()
+		moves++
+	}
+	return moves, nil
+}
+
+// pickMigrant chooses the VP to move off the hot device: the lowest VP id
+// assigned there whose resident bytes fit the cold device's headroom —
+// deterministic for a given farm state.
+func (m *MultiService) pickMigrant(hot, cold int) (int, bool) {
+	m.mu.RLock()
+	var vps []int
+	for vp, d := range m.byVP {
+		if d == hot {
+			vps = append(vps, vp)
+		}
+	}
+	m.mu.RUnlock()
+	if len(vps) == 0 {
+		return 0, false
+	}
+	headroom := m.services[cold].GPU.Mem.Headroom()
+	best, found := 0, false
+	for _, vp := range vps {
+		if m.services[hot].VPBytes(vp) > headroom {
+			continue
+		}
+		if !found || vp < best {
+			best, found = vp, true
+		}
+	}
+	return best, found
+}
+
+// StartRebalancer runs Rebalance on a background ticker until the returned
+// stop function is called. Errors of individual passes are counted
+// (core.migrate.failures via Migrate) and do not stop the loop.
+func (m *MultiService) StartRebalancer(o RebalanceOptions) (stop func()) {
+	if o.Interval <= 0 {
+		o.Interval = DefaultRebalanceInterval
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(o.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				_, _ = m.Rebalance(o)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}

@@ -1,8 +1,3 @@
-// Package core assembles the ΣVP host service (paper Fig. 2): the IPC
-// manager endpoint, the Job Queue, the Re-scheduler (Kernel Interleaving +
-// Kernel Match/Coalescing), the Job Dispatcher driving the host-GPU model,
-// and the VP Control logic that batches requests while VPs are stopped at
-// synchronous invocations.
 package core
 
 import (
@@ -131,6 +126,15 @@ type Service struct {
 	// registry for the same byte-identity reason as execReg.
 	adm    *admission
 	admReg *metrics.Registry
+
+	// memMu guards vpAllocs, the per-VP allocation tables behind VP
+	// checkpoint/restore and live migration: vpAllocs[vp] maps each guest
+	// pointer the VP holds onto its current device pointer. The two are
+	// identical at allocation time; they diverge only when a migration
+	// restore cannot reclaim the original address and rebases the
+	// allocation (see RestoreVP).
+	memMu    sync.Mutex
+	vpAllocs map[int]map[devmem.Ptr]devmem.Ptr
 }
 
 // vpState is one VP's shard of the VP-control state.
@@ -186,13 +190,14 @@ func NewService(opts Options) *Service {
 		q.SetFairShare(opts.FairShare)
 	}
 	s := &Service{
-		GPU:     g,
-		opts:    opts,
-		metrics: reg,
-		queue:   q,
-		vps:     map[int]*vpState{},
-		execReg: metrics.New(),
-		admReg:  metrics.New(),
+		GPU:      g,
+		opts:     opts,
+		metrics:  reg,
+		queue:    q,
+		vps:      map[int]*vpState{},
+		execReg:  metrics.New(),
+		admReg:   metrics.New(),
+		vpAllocs: map[int]map[devmem.Ptr]devmem.Ptr{},
 	}
 	// Farm caps are enforced by MultiService from sampled per-device loads,
 	// so they too need the per-service gate running (with every device knob
@@ -611,13 +616,13 @@ func (s *Service) Trace() *trace.Log {
 func (s *Service) Handle(vp int, req any) any {
 	switch r := req.(type) {
 	case ipc.MallocReq:
-		p, err := s.GPU.Mem.Alloc(r.Size)
+		p, err := s.AllocVP(vp, r.Size)
 		if err != nil {
 			return ipc.ErrResp{Msg: err.Error()}
 		}
 		return ipc.MallocResp{Ptr: p}
 	case ipc.FreeReq:
-		if err := s.GPU.Mem.Free(r.Ptr); err != nil {
+		if err := s.FreeVP(vp, r.Ptr); err != nil {
 			return ipc.ErrResp{Msg: err.Error()}
 		}
 		return ipc.OKResp{}
@@ -626,7 +631,7 @@ func (s *Service) Handle(vp int, req any) any {
 		if err != nil {
 			return ipc.ErrResp{Msg: err.Error()}
 		}
-		j := sched.NewH2D(vp, stream, r.Dst, r.Off, r.Data)
+		j := sched.NewH2D(vp, stream, s.ResolvePtr(vp, r.Dst), r.Off, r.Data)
 		if resp := s.admitJob(vp, j); resp != nil {
 			return resp
 		}
@@ -640,7 +645,7 @@ func (s *Service) Handle(vp int, req any) any {
 		if err != nil {
 			return ipc.ErrResp{Msg: err.Error()}
 		}
-		j := sched.NewD2H(vp, stream, r.Src, r.Off, r.N)
+		j := sched.NewD2H(vp, stream, s.ResolvePtr(vp, r.Src), r.Off, r.N)
 		if resp := s.admitJob(vp, j); resp != nil {
 			return resp
 		}
@@ -654,7 +659,7 @@ func (s *Service) Handle(vp int, req any) any {
 		if err != nil {
 			return ipc.ErrResp{Msg: err.Error()}
 		}
-		j := sched.NewMemset(vp, stream, r.Dst, r.Off, r.N, r.Value)
+		j := sched.NewMemset(vp, stream, s.ResolvePtr(vp, r.Dst), r.Off, r.N, r.Value)
 		if resp := s.admitJob(vp, j); resp != nil {
 			return resp
 		}
@@ -683,6 +688,22 @@ func (s *Service) Handle(vp int, req any) any {
 		}
 		s.Drain()
 		return ipc.OKResp{End: s.GPU.SyncStream(stream)}
+	case ipc.CheckpointReq:
+		codec, err := ParseCheckpointCodec(r.Codec)
+		if err != nil {
+			return ipc.ErrResp{Msg: err.Error()}
+		}
+		ck, err := s.CheckpointAll()
+		if err != nil {
+			return ipc.ErrResp{Msg: err.Error()}
+		}
+		data, err := ck.Encode(codec)
+		if err != nil {
+			return ipc.ErrResp{Msg: err.Error()}
+		}
+		return ipc.CheckpointResp{Data: data}
+	case ipc.MigrateReq:
+		return ipc.ErrResp{Msg: "core: migrate: single-device service has nowhere to move a VP"}
 	default:
 		return ipc.ErrResp{Msg: fmt.Sprintf("core: unknown request %T", req)}
 	}
@@ -699,7 +720,7 @@ func (s *Service) launchJob(vp int, r ipc.LaunchReq) (*sched.Job, error) {
 	if params == nil {
 		params = map[string]kpl.Value{}
 	}
-	bindings := r.Bindings
+	bindings := s.resolveBindings(vp, r.Bindings)
 	if bindings == nil {
 		bindings = map[string]devmem.Ptr{}
 	}
@@ -736,4 +757,17 @@ func streamOf(vp, guestStream int) (int, error) {
 		return 0, fmt.Errorf("core: vp %d: guest stream %d out of range [0, %d)", vp, guestStream, streamsPerVP)
 	}
 	return vp*streamsPerVP + guestStream, nil
+}
+
+// VPStream maps a VP's guest stream onto the device-stream window the
+// service uses internally. Raw-batch harnesses (DispatchRaw/DispatchBatch)
+// build jobs with it so their stream clocks land in the owning VP's window —
+// the namespace CheckpointVP captures and a migration transfers. Guest
+// streams outside the window clamp to its base.
+func VPStream(vp, guestStream int) int {
+	s, err := streamOf(vp, guestStream)
+	if err != nil {
+		return vp * streamsPerVP
+	}
+	return s
 }

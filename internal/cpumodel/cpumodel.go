@@ -1,7 +1,3 @@
-// Package cpumodel times CPU-side execution for the paper's baselines
-// (Table 1): plain scalar code compiled natively ("C"), device-emulated GPU
-// kernels ("CUDA Emul."), both on the physical host CPU and inside a QEMU
-// virtual platform whose dynamic binary translation multiplies every cycle.
 package cpumodel
 
 // Times are in seconds; instruction counts are canonical instructions.

@@ -1,0 +1,9 @@
+// Package cpumodel times CPU-side execution for the paper's baselines
+// (Table 1): plain scalar code compiled natively ("C"), device-emulated GPU
+// kernels ("CUDA Emul."), both on the physical host CPU and inside a QEMU
+// virtual platform whose dynamic binary translation multiplies every cycle.
+//
+// The models are analytic, not emulated: cycle counts derive from the
+// kernel's instruction mix (internal/kir) and the configured CPU
+// parameters, so the baseline columns regenerate deterministically.
+package cpumodel

@@ -1,14 +1,10 @@
-// Package devmem simulates GPU device memory: an allocator over a bounded
-// byte store, plus typed conversions between raw device bytes and the typed
-// buffers kernels operate on. Device pointers are opaque handles, as in the
-// CUDA runtime; the host service and the coalescer move raw bytes, so
-// Kernel Coalescing (paper Fig. 5) is literal byte-region merging.
 package devmem
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"repro/internal/kpl"
@@ -20,9 +16,18 @@ import (
 // makes such a request satisfiable.
 var ErrBadAllocSize = errors.New("devmem: bad allocation size")
 
+// ErrSpanBusy reports an AllocAt target span that overlaps a live
+// allocation. Migration callers treat it as "cannot keep the original
+// address" and fall back to a fresh Alloc plus a pointer-rebase entry.
+var ErrSpanBusy = errors.New("devmem: span busy")
+
 // maxAlloc is the largest request alignSpan can round up without the
 // (n + 255) sum wrapping negative.
 const maxAlloc = math.MaxInt - 255
+
+// base is the first device address ever handed out. Keeping it non-zero
+// preserves the CUDA convention that a zero pointer is never valid.
+const base Ptr = 0x1000
 
 // Ptr is an opaque device pointer.
 type Ptr uint64
@@ -47,7 +52,7 @@ type Mem struct {
 // New returns a device memory of the given capacity in bytes.
 func New(capacity int64) *Mem {
 	return &Mem{
-		next:     0x1000,
+		next:     base,
 		allocs:   map[Ptr][]byte{},
 		reserved: map[Ptr]Ptr{},
 		capacity: capacity,
@@ -100,6 +105,104 @@ func (m *Mem) Alloc(n int) (Ptr, error) {
 	m.reserved[p] = need
 	m.used += int64(n)
 	return p, nil
+}
+
+// AllocAt reserves n bytes at exactly the device address p, used by
+// checkpoint replay and migration to keep guest pointers valid without
+// translation. The target span must be free: it either lies inside a single
+// free-list region (which is carved around it) or beyond the bump pointer
+// (the gap up to p, if any, joins the free list). A span overlapping a live
+// allocation fails with ErrSpanBusy; size validation and the headroom check
+// match Alloc, including the PR 9 overflow guards.
+func (m *Mem) AllocAt(p Ptr, n int) error {
+	if n <= 0 || n > maxAlloc {
+		return fmt.Errorf("devmem: alloc of %d bytes at %#x: %w", n, uint64(p), ErrBadAllocSize)
+	}
+	need := alignSpan(n)
+	if p < base || p+need < p {
+		return fmt.Errorf("devmem: alloc at invalid pointer %#x", uint64(p))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int64(n) > m.capacity-m.used {
+		return fmt.Errorf("devmem: out of memory: %d requested at %#x, %d free", n, uint64(p), m.capacity-m.used)
+	}
+	end := p + need
+	if p >= m.next {
+		if p > m.next {
+			m.insertFree(span{addr: m.next, size: p - m.next})
+		}
+		m.next = end
+	} else {
+		// Inside the touched address space the target must sit wholly
+		// within one free region (free regions are coalesced, so a free
+		// target can never straddle two).
+		fit := -1
+		for i, f := range m.free {
+			if f.addr <= p && end <= f.addr+f.size {
+				fit = i
+				break
+			}
+		}
+		if fit < 0 {
+			return fmt.Errorf("devmem: alloc of %d bytes at %#x: %w", n, uint64(p), ErrSpanBusy)
+		}
+		f := m.free[fit]
+		m.free = append(m.free[:fit], m.free[fit+1:]...)
+		if f.addr < p {
+			m.insertFree(span{addr: f.addr, size: p - f.addr})
+		}
+		if end < f.addr+f.size {
+			m.insertFree(span{addr: end, size: f.addr + f.size - end})
+		}
+	}
+	m.allocs[p] = make([]byte, n)
+	m.reserved[p] = need
+	m.used += int64(n)
+	return nil
+}
+
+// Entry is one exported allocation: its device pointer and a private copy of
+// its backing bytes. A sorted []Entry is the wire/disk representation of an
+// arena's live contents (the free list is derivable and not exported).
+type Entry struct {
+	Ptr  Ptr
+	Data []byte
+}
+
+// Export snapshots every live allocation, sorted by address, with private
+// byte copies. Replaying the result into a fresh arena of the same capacity
+// reproduces Used, Headroom and HighWater exactly: reserved spans land at
+// their original addresses, interior gaps rebuild the free list, and the
+// bump pointer converges to the end of the last reserved span (which is
+// where retraction pins it on the source arena).
+func (m *Mem) Export() []Entry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Entry, 0, len(m.allocs))
+	for p, b := range m.allocs {
+		data := make([]byte, len(b))
+		copy(data, b)
+		out = append(out, Entry{Ptr: p, Data: data})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ptr < out[j].Ptr })
+	return out
+}
+
+// Replay reconstructs exported allocations at their original addresses via
+// AllocAt and restores their bytes. It fails with ErrSpanBusy if any entry
+// overlaps a live allocation; entries applied before the failure remain
+// (callers restoring into a fresh arena never hit this).
+func (m *Mem) Replay(entries []Entry) error {
+	for _, e := range entries {
+		if err := m.AllocAt(e.Ptr, len(e.Data)); err != nil {
+			return err
+		}
+		if err := m.Write(e.Ptr, 0, e.Data); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Free releases the allocation at p, returning its address-space span to the

@@ -1,0 +1,18 @@
+// Package devmem simulates GPU device memory: an allocator over a bounded
+// byte store, plus typed conversions between raw device bytes and the typed
+// buffers kernels operate on. Device pointers are opaque handles, as in the
+// CUDA runtime; the host service and the coalescer move raw bytes, so
+// Kernel Coalescing (paper Fig. 5) is literal byte-region merging.
+//
+// The allocator is a first-fit free list with adjacent-region merge and
+// bump-pointer retraction, so long-lived alloc/free churn keeps the address
+// space bounded by the peak working set. Capacity, Headroom and HighWater
+// expose the load signals the multi-GPU placement policies (paper §V's
+// multi-device serving extension) score devices by.
+//
+// For VP checkpoint/restore and live migration, an arena is serializable:
+// Export captures every live allocation (pointer + private byte copy) and
+// Replay reconstructs them — AllocAt pins an allocation at its original
+// address when the span is free, and callers fall back to a fresh Alloc plus
+// a pointer-rebase entry when it is not (see core's migration machinery).
+package devmem

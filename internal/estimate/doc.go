@@ -1,0 +1,15 @@
+// Package estimate implements the paper's Profile-Based Execution Analysis
+// (Section 4): given a profile measured by executing a kernel on the *host*
+// GPU plus a static recompilation of the kernel for the *target* GPU, it
+// predicts the target's execution time through three increasingly refined
+// models — C (Eq. 2), C′ (Eq. 4) and C″ (Eq. 5) — and the target's power
+// dissipation P (Eq. 6).
+//
+// The estimator deliberately uses simpler analytic forms than the
+// discrete-event device model that produces the ground truth: C knows only
+// the peak IPC; C′ adds per-class latencies τ but imports the host's
+// stall/overhead residual wholesale; C″ swaps the host's data-dependency
+// stalls for target-geometry predictions from the probabilistic cache model
+// (internal/cachemodel). Each refinement removes one class of error, which
+// is exactly the ladder the paper's Fig. 12 demonstrates.
+package estimate

@@ -1,0 +1,818 @@
+package experiments
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/cudart"
+	"repro/internal/devmem"
+	"repro/internal/hostgpu"
+	"repro/internal/ipc"
+	"repro/internal/kernels"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+// Migration drill geometry: a 16-VP fleet with the multi-GPU mixed workload
+// on a 4-device farm, with forced mid-run migrations at iteration barriers.
+const migrationDevices = 4
+
+// migPlanStep forces one migration: before dispatching iteration It, VP is
+// moved to the next device (round-robin from its current assignment). The
+// plan is a pure function of the fleet geometry, so two runs of the drill
+// perform byte-identical migration sequences.
+type migPlanStep struct {
+	It int
+	VP int
+}
+
+// migrationPlan spreads forced moves across the run: a handful of VPs
+// migrate at staggered barriers, and VP 0 moves twice to exercise chained
+// rebases (its second source holds rebased pointers already).
+func migrationPlan(nVPs, maxIters int) []migPlanStep {
+	vps := []int{0, 2, 5, 7, 11, 0}
+	var plan []migPlanStep
+	for i, vp := range vps {
+		if vp >= nVPs {
+			continue
+		}
+		it := 1 + i
+		if it >= maxIters {
+			it = maxIters - 1
+		}
+		if it < 1 {
+			continue
+		}
+		plan = append(plan, migPlanStep{It: it, VP: vp})
+	}
+	return plan
+}
+
+// MigrationResult summarizes the live-migration drill: the same fleet run
+// four ways — untouched (reference), with forced mid-run migrations, split
+// across a checkpoint/restore into a fresh farm, and with a victim VP
+// migrated onto an overloaded device at 4× oversubscription — all required
+// to produce byte-identical D2H output buffers.
+type MigrationResult struct {
+	VPs        int
+	Scale      int
+	Devices    int
+	Iterations int
+	Codec      string
+
+	// Migration-run observables, from the farm's migration registry.
+	Migrations     int64
+	BytesMoved     int64
+	AllocsReplayed int64
+	PtrsRebased    int64
+
+	// CheckpointBytes is the encoded size of the mid-run farm image the
+	// checkpoint leg moved through the chosen codec (and through disk).
+	CheckpointBytes int
+
+	// Byte-identity of the final D2H buffers versus the reference run.
+	IdenticalD2H     bool // migration run
+	IdenticalCkptD2H bool // checkpoint/restore run
+
+	// Overload leg: sheds observed while the victim ran, and whether its
+	// D2H bytes survived migration onto the contended device.
+	OverloadSheds        int64
+	OverloadMigrations   int64
+	OverloadIdenticalD2H bool
+
+	// Deterministic artifacts of the migration run, for the equivalence
+	// suite's cross-codec/cross-worker comparison. Excluded from JSON: the
+	// drill's printed result must not embed megabytes of snapshot.
+	MetricsJSON []byte `json:"-"`
+	TraceJSON   []byte `json:"-"`
+	// D2HDigest is the SHA-256 over every VP's final output buffers in VP
+	// order — a compact cross-run identity for the data itself.
+	D2HDigest string
+}
+
+func (r *MigrationResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Migration drill: %d VPs on %d devices, mixed workload ×%d iters, %s checkpoint codec\n",
+		r.VPs, r.Devices, r.Iterations, r.Codec)
+	fmt.Fprintf(&b, "  migrations: %d (%d bytes moved, %d allocs replayed, %d ptrs rebased)\n",
+		r.Migrations, r.BytesMoved, r.AllocsReplayed, r.PtrsRebased)
+	fmt.Fprintf(&b, "  checkpoint: %d bytes encoded, restored into a fresh farm mid-run\n", r.CheckpointBytes)
+	fmt.Fprintf(&b, "  identical D2H vs reference: migrated=%v checkpointed=%v\n", r.IdenticalD2H, r.IdenticalCkptD2H)
+	fmt.Fprintf(&b, "  overload leg: %d sheds, %d migrations, victim D2H identical: %v\n",
+		r.OverloadSheds, r.OverloadMigrations, r.OverloadIdenticalD2H)
+	fmt.Fprintf(&b, "  d2h digest: %s\n", r.D2HDigest)
+	return b.String()
+}
+
+// JSON renders the drill result in the BENCH artifact shape.
+func (r *MigrationResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// MigrationDrill runs the live-migration experiment. Legs are independent
+// farms and run through the harness pool; the comparisons happen after all
+// four finish. It returns an error when any identity or contract check
+// fails; the result carries the evidence either way.
+func MigrationDrill(nVPs, scale, oversub int, codec core.CheckpointCodec) (*MigrationResult, error) {
+	if nVPs < 2 {
+		nVPs = 2
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	if oversub <= 0 {
+		oversub = 4
+	}
+	benches := make([]*kernels.Benchmark, len(multiGPUApps))
+	for i, name := range multiGPUApps {
+		b, err := kernels.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		benches[i] = b
+	}
+	maxIters := 0
+	for _, b := range benches {
+		if b.Iterations > maxIters {
+			maxIters = b.Iterations
+		}
+	}
+	plan := migrationPlan(nVPs, maxIters)
+	res := &MigrationResult{
+		VPs: nVPs, Scale: scale, Devices: migrationDevices,
+		Iterations: maxIters, Codec: codec.String(),
+	}
+
+	var (
+		ref, mig, ckpt *fleetArtifacts
+		over           *overloadMigLeg
+	)
+	err := forEach(4, func(i int) error {
+		var err error
+		switch i {
+		case 0:
+			ref, err = runMigrationFleet(benches, scale, nVPs, migrationDevices, nil, -1, codec)
+		case 1:
+			mig, err = runMigrationFleet(benches, scale, nVPs, migrationDevices, plan, -1, codec)
+		case 2:
+			ckpt, err = runMigrationFleet(benches, scale, nVPs, migrationDevices, plan, maxIters/2, codec)
+		case 3:
+			over, err = runOverloadMigration(oversub, 4)
+		}
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+
+	res.Migrations = mig.migSnap.CounterValue("core.migrate.migrations")
+	res.BytesMoved = mig.migSnap.CounterValue("core.migrate.bytes_moved")
+	res.AllocsReplayed = mig.migSnap.CounterValue("core.migrate.allocs_replayed")
+	res.PtrsRebased = mig.migSnap.CounterValue("core.migrate.ptrs_rebased")
+	res.CheckpointBytes = ckpt.ckptBytes
+	res.MetricsJSON = mig.metricsJSON
+	res.TraceJSON = mig.traceJSON
+	res.D2HDigest = d2hDigest(mig.d2h)
+	res.IdenticalD2H = d2hEqual(ref.d2h, mig.d2h)
+	res.IdenticalCkptD2H = d2hEqual(ref.d2h, ckpt.d2h)
+	res.OverloadSheds = over.sheds
+	res.OverloadMigrations = over.migrations
+	res.OverloadIdenticalD2H = bytes.Equal(over.refD2H, over.hotD2H)
+
+	switch {
+	case res.Migrations != int64(len(plan)):
+		return res, fmt.Errorf("migration drill: %d migrations performed, plan had %d", res.Migrations, len(plan))
+	case res.PtrsRebased == 0:
+		return res, fmt.Errorf("migration drill: no pointer was rebased — the restore path's collision handling went unexercised")
+	case !res.IdenticalD2H:
+		return res, fmt.Errorf("migration drill: D2H bytes diverged from the reference run after migrations")
+	case !res.IdenticalCkptD2H:
+		return res, fmt.Errorf("migration drill: D2H bytes diverged after the checkpoint/restore split")
+	case res.OverloadSheds == 0:
+		return res, fmt.Errorf("migration drill: overload leg shed nothing at %d× oversubscription", oversub)
+	case res.OverloadMigrations == 0:
+		return res, fmt.Errorf("migration drill: overload leg performed no migration")
+	case !res.OverloadIdenticalD2H:
+		return res, fmt.Errorf("migration drill: victim D2H diverged after migration onto the contended device")
+	}
+	return res, nil
+}
+
+// CheckpointResult summarizes the checkpoint drill: the fleet run once
+// untouched and once split across a save→restore into a fresh farm, plus the
+// encoded image size under both codecs.
+type CheckpointResult struct {
+	VPs        int
+	Scale      int
+	Devices    int
+	Iterations int
+	Codec      string
+
+	// CheckpointBytes is the encoded image size with the selected codec;
+	// GobBytes and BinaryBytes size the same image under both codecs, the
+	// drill's compactness comparison.
+	CheckpointBytes int
+	GobBytes        int
+	BinaryBytes     int
+
+	IdenticalD2H bool
+	D2HDigest    string
+}
+
+func (r *CheckpointResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Checkpoint drill: %d VPs on %d devices, mixed workload ×%d iters, save→restore at iter %d\n",
+		r.VPs, r.Devices, r.Iterations, r.Iterations/2)
+	fmt.Fprintf(&b, "  image: %d bytes (%s codec); gob %d bytes, binary %d bytes\n",
+		r.CheckpointBytes, r.Codec, r.GobBytes, r.BinaryBytes)
+	fmt.Fprintf(&b, "  identical D2H vs uninterrupted run: %v\n", r.IdenticalD2H)
+	fmt.Fprintf(&b, "  d2h digest: %s\n", r.D2HDigest)
+	return b.String()
+}
+
+// JSON renders the drill result in the BENCH artifact shape.
+func (r *CheckpointResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// CheckpointDrill runs the daemon-restart experiment in isolation: the fleet
+// runs to its midpoint, the whole farm is checkpointed to disk with the
+// chosen codec, a fresh farm restores the image and finishes the run, and
+// the final D2H buffers must match an uninterrupted run byte for byte.
+func CheckpointDrill(nVPs, scale int, codec core.CheckpointCodec) (*CheckpointResult, error) {
+	if nVPs < 1 {
+		nVPs = 1
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	benches := make([]*kernels.Benchmark, len(multiGPUApps))
+	for i, name := range multiGPUApps {
+		b, err := kernels.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		benches[i] = b
+	}
+	maxIters := 0
+	for _, b := range benches {
+		if b.Iterations > maxIters {
+			maxIters = b.Iterations
+		}
+	}
+	res := &CheckpointResult{
+		VPs: nVPs, Scale: scale, Devices: migrationDevices,
+		Iterations: maxIters, Codec: codec.String(),
+	}
+	var ref, ckpt *fleetArtifacts
+	err := forEach(2, func(i int) error {
+		var err error
+		if i == 0 {
+			ref, err = runMigrationFleet(benches, scale, nVPs, migrationDevices, nil, -1, codec)
+		} else {
+			ckpt, err = runMigrationFleet(benches, scale, nVPs, migrationDevices, nil, maxIters/2, codec)
+		}
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+	res.CheckpointBytes = ckpt.ckptBytes
+	res.IdenticalD2H = d2hEqual(ref.d2h, ckpt.d2h)
+	res.D2HDigest = d2hDigest(ckpt.d2h)
+	if !res.IdenticalD2H {
+		return res, fmt.Errorf("checkpoint drill: D2H bytes diverged across the save→restore split")
+	}
+	// Size the same logical image under both codecs for the report. A fresh
+	// throwaway farm is checkpointed so the numbers describe the drill's own
+	// fleet, not whatever state the legs left behind.
+	if res.GobBytes, res.BinaryBytes, err = checkpointSizes(benches, scale, nVPs); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// checkpointSizes provisions the fleet without running it and encodes the
+// farm image under both codecs.
+func checkpointSizes(benches []*kernels.Benchmark, scale, nVPs int) (gobN, binN int, err error) {
+	ms, err := newMigrationFarm(migrationDevices)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer ms.Close()
+	for id := 0; id < nVPs; id++ {
+		ms.RegisterVP(id)
+		dev, _ := ms.Assignment(id)
+		bench := benches[id%len(benches)]
+		w := bench.MakeWorkload(scale)
+		for _, decl := range bench.Kernel.Bufs {
+			if _, err := ms.Device(dev).AllocVP(id, w.BufBytes[decl.Name]); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	ck, err := ms.Checkpoint()
+	if err != nil {
+		return 0, 0, err
+	}
+	g, err := ck.Encode(core.CheckpointGob)
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := ck.Encode(core.CheckpointBinary)
+	if err != nil {
+		return 0, 0, err
+	}
+	return len(g), len(b), nil
+}
+
+// migVP is one fleet member: its benchmark, workload, and *guest* pointers.
+// Guest pointers are allocated through Service.AllocVP, so they travel with
+// the VP on migration; every iteration resolves them to current device
+// pointers before building jobs, because a restore may have rebased them.
+type migVP struct {
+	vp      int
+	bench   *kernels.Benchmark
+	launch  *hostgpu.Launch
+	inPtrs  []devmem.Ptr
+	inData  [][]byte
+	outPtrs []devmem.Ptr
+	outLens []int
+
+	finalD2H []*sched.Job
+}
+
+// jobs builds one iteration's burst against the VP's current device,
+// resolving guest pointers freshly (migration may have rebased them since
+// the last iteration) and submitting into the VP's stream window.
+func (v *migVP) jobs(ms *core.MultiService, it int) (int, []*sched.Job) {
+	dev, _ := ms.Assignment(v.vp)
+	svc := ms.Device(dev)
+	stream := core.VPStream(v.vp, 0)
+	copyIn := v.bench.CopyEachIteration || it == 0
+	copyOut := v.bench.CopyEachIteration || it == v.bench.Iterations-1
+	var jobs []*sched.Job
+	if copyIn {
+		for i, gp := range v.inPtrs {
+			jobs = append(jobs, sched.NewH2D(v.vp, stream, svc.ResolvePtr(v.vp, gp), 0, v.inData[i]))
+		}
+	}
+	l := *v.launch
+	l.Bindings = make(map[string]devmem.Ptr, len(v.launch.Bindings))
+	for name, gp := range v.launch.Bindings {
+		l.Bindings[name] = svc.ResolvePtr(v.vp, gp)
+	}
+	kj := sched.NewKernel(v.vp, stream, &l)
+	kj.Coalescable = v.bench.Coalescable
+	jobs = append(jobs, kj)
+	if copyOut {
+		var d2h []*sched.Job
+		for i, gp := range v.outPtrs {
+			d2h = append(d2h, sched.NewD2H(v.vp, stream, svc.ResolvePtr(v.vp, gp), 0, v.outLens[i]))
+		}
+		jobs = append(jobs, d2h...)
+		if it == v.bench.Iterations-1 {
+			v.finalD2H = d2h
+		}
+	}
+	return dev, jobs
+}
+
+// fleetArtifacts is one fleet run's comparable output.
+type fleetArtifacts struct {
+	d2h         map[int][]byte // vp → concatenated final output buffers
+	metricsJSON []byte
+	traceJSON   []byte
+	migSnap     metrics.Snapshot
+	ckptBytes   int
+}
+
+// newMigrationFarm builds the drill's farm shape: nDev identical devices,
+// round-robin placement, tracing on so migration records land in a timeline.
+// Unlike the multi-GPU scaling study this farm runs in full-execution mode —
+// the drill's whole point is that buffer *contents* survive migration, so
+// kernels must really compute and copies must really move bytes.
+func newMigrationFarm(nDev int) (*core.MultiService, error) {
+	opts := core.DefaultOptions()
+	opts.MemBytes = 1 << 33
+	opts.Trace = true
+	gpus := make([]arch.GPU, nDev)
+	for i := range gpus {
+		gpus[i] = arch.Quadro4000()
+	}
+	return core.NewMultiServicePlaced(opts, gpus, core.PlaceRoundRobin)
+}
+
+// runMigrationFleet serves the fleet once in lock-step iterations, applying
+// the migration plan at iteration barriers. With checkpointAt >= 0, the whole
+// farm is checkpointed before that iteration, encoded with the codec, round-
+// tripped through a file on disk, and restored into a brand-new farm that
+// runs the remaining iterations — the daemon-restart scenario.
+func runMigrationFleet(benches []*kernels.Benchmark, scale, nVPs, nDev int, plan []migPlanStep, checkpointAt int, codec core.CheckpointCodec) (*fleetArtifacts, error) {
+	ms, err := newMigrationFarm(nDev)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { ms.Close() }()
+
+	vps := make([]*migVP, nVPs)
+	dynOf := map[string]*hostgpu.Launch{}
+	maxIters := 0
+	for id := 0; id < nVPs; id++ {
+		ms.RegisterVP(id)
+		dev, ok := ms.Assignment(id)
+		if !ok {
+			return nil, fmt.Errorf("experiments: vp %d unassigned after registration", id)
+		}
+		bench := benches[id%len(benches)]
+		w := bench.MakeWorkload(scale)
+		v := &migVP{vp: id, bench: bench, launch: bench.NewLaunch(w)}
+		v.launch.Bindings = map[string]devmem.Ptr{}
+		svc := ms.Device(dev)
+		for _, decl := range bench.Kernel.Bufs {
+			size, ok := w.BufBytes[decl.Name]
+			if !ok {
+				return nil, fmt.Errorf("experiments: %s: workload missing buffer %q", bench.Name, decl.Name)
+			}
+			gp, err := svc.AllocVP(id, size)
+			if err != nil {
+				return nil, err
+			}
+			v.launch.Bindings[decl.Name] = gp
+			if in, ok := w.Inputs[decl.Name]; ok {
+				v.inPtrs = append(v.inPtrs, gp)
+				v.inData = append(v.inData, in)
+			}
+		}
+		for _, name := range w.OutBufs {
+			v.outPtrs = append(v.outPtrs, v.launch.Bindings[name])
+			v.outLens = append(v.outLens, w.BufBytes[name])
+		}
+		if bench.Prog.NeedsDynamicProfile() {
+			if ref, ok := dynOf[bench.Name]; ok {
+				v.launch.Dyn = ref.Dyn
+			} else {
+				env, err := buildWorkloadEnv(bench, w)
+				if err != nil {
+					return nil, err
+				}
+				st, err := bench.Kernel.SampleStats(env, 32)
+				if err != nil {
+					return nil, err
+				}
+				v.launch.Dyn = st
+				dynOf[bench.Name] = v.launch
+			}
+		}
+		vps[id] = v
+		if bench.Iterations > maxIters {
+			maxIters = bench.Iterations
+		}
+	}
+
+	ckptBytes := 0
+	for it := 0; it < maxIters; it++ {
+		if it == checkpointAt {
+			ms2, n, err := checkpointHandover(ms, nDev, codec)
+			if err != nil {
+				return nil, err
+			}
+			old := ms
+			ms = ms2
+			old.Close()
+			ckptBytes = n
+		}
+		for _, step := range plan {
+			if step.It != it {
+				continue
+			}
+			dev, ok := ms.Assignment(step.VP)
+			if !ok {
+				return nil, fmt.Errorf("experiments: migration plan: vp %d unassigned at iter %d", step.VP, it)
+			}
+			if err := ms.Migrate(step.VP, (dev+1)%nDev); err != nil {
+				return nil, err
+			}
+		}
+		batches := make([][]*sched.Job, nDev)
+		for _, v := range vps {
+			if it >= v.bench.Iterations {
+				continue
+			}
+			dev, jobs := v.jobs(ms, it)
+			batches[dev] = append(batches[dev], jobs...)
+		}
+		for dev, batch := range batches {
+			if len(batch) > 0 {
+				ms.DispatchBatch(dev, batch)
+			}
+		}
+	}
+	ms.Flush()
+	a, err := artifactsOf(ms, vps, nVPs)
+	if err != nil {
+		return nil, err
+	}
+	a.ckptBytes = ckptBytes
+	return a, nil
+}
+
+// checkpointHandover cuts a farm image, round-trips it through the codec and
+// a file on disk, and restores it into a fresh farm — the daemon-restart leg.
+func checkpointHandover(ms *core.MultiService, nDev int, codec core.CheckpointCodec) (*core.MultiService, int, error) {
+	ck, err := ms.Checkpoint()
+	if err != nil {
+		return nil, 0, err
+	}
+	dir, err := os.MkdirTemp("", "sigmavp-ckpt")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "farm.ckpt")
+	if err := core.SaveCheckpoint(path, ck, codec); err != nil {
+		return nil, 0, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	ck2, err := core.LoadCheckpoint(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	ms2, err := newMigrationFarm(nDev)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := ms2.Restore(ck2); err != nil {
+		ms2.Close()
+		return nil, 0, err
+	}
+	return ms2, len(data), nil
+}
+
+// artifactsOf drains the farm and captures the comparable outputs: every
+// VP's final D2H bytes, the merged simulated-metrics snapshot, the merged
+// trace records, and the migration snapshot.
+func artifactsOf(ms *core.MultiService, vps []*migVP, nVPs int) (*fleetArtifacts, error) {
+	ms.Flush()
+	a := &fleetArtifacts{d2h: map[int][]byte{}, migSnap: ms.MigrationSnapshot()}
+	for _, v := range vps {
+		var out []byte
+		for _, j := range v.finalD2H {
+			if j.Err != nil {
+				return nil, fmt.Errorf("experiments: vp %d final D2H: %w", v.vp, j.Err)
+			}
+			out = append(out, j.Data...)
+		}
+		a.d2h[v.vp] = out
+	}
+	var err error
+	a.metricsJSON, err = ms.Snapshot().JSON()
+	if err != nil {
+		return nil, err
+	}
+	if tl := ms.MergedTrace(); tl != nil {
+		a.traceJSON, err = json.Marshal(tl.Records())
+		if err != nil {
+			return nil, err
+		}
+	}
+	for id := 0; id < nVPs; id++ {
+		ms.UnregisterVP(id)
+	}
+	return a, nil
+}
+
+// d2hEqual compares two per-VP output maps byte for byte.
+func d2hEqual(a, b map[int][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for vp, data := range a {
+		if !bytes.Equal(data, b[vp]) {
+			return false
+		}
+	}
+	return true
+}
+
+// d2hDigest hashes the per-VP outputs in VP order.
+func d2hDigest(d2h map[int][]byte) string {
+	vps := make([]int, 0, len(d2h))
+	for vp := range d2h {
+		vps = append(vps, vp)
+	}
+	sort.Ints(vps)
+	h := sha256.New()
+	for _, vp := range vps {
+		h.Write(d2h[vp])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// overloadMigLeg is the overload leg's outcome: the victim VP is live-
+// migrated onto the aggressor's device while that device sheds at several
+// times its quota, and its D2H bytes must match an uncontended, unmigrated
+// reference.
+type overloadMigLeg struct {
+	sheds      int64
+	migrations int64
+	refD2H     []byte
+	hotD2H     []byte
+}
+
+// runOverloadMigration runs the reference and contended passes.
+func runOverloadMigration(oversub, iters int) (*overloadMigLeg, error) {
+	leg := &overloadMigLeg{}
+	var err error
+	leg.refD2H, _, _, err = overloadMigrationPass(false, oversub, iters)
+	if err != nil {
+		return nil, fmt.Errorf("overload-migration leg (reference pass): %w", err)
+	}
+	leg.hotD2H, leg.sheds, leg.migrations, err = overloadMigrationPass(true, oversub, iters)
+	if err != nil {
+		return nil, fmt.Errorf("overload-migration leg (contended pass): %w", err)
+	}
+	return leg, nil
+}
+
+// overloadMigrationPass serves a fresh 2-device farm over TCP. The victim VP
+// lands alone on device 0 and runs a deterministic sequential workload; when
+// contended, an aggressor fleet oversubscribes device 1's admission quota
+// oversub× over, and halfway through the victim is live-migrated onto that
+// melting device via a MigrateReq on its own connection. The cudart client's
+// transparent overload retries carry the victim through the sheds.
+func overloadMigrationPass(contended bool, oversub, iters int) (d2h []byte, sheds, migrations int64, err error) {
+	opts := core.DefaultOptions()
+	opts.Admission = core.AdmissionOptions{
+		MaxQueuedJobs:        overloadCapJobs,
+		MaxQueuedBytes:       overloadCapBytes,
+		DeviceMaxQueuedJobs:  2 * overloadCapJobs,
+		DeviceMaxQueuedBytes: 2 * overloadCapBytes,
+	}
+	opts.FairShare = overloadCapJobs
+	ms, err := core.NewMultiService(opts, []arch.GPU{arch.Quadro4000(), arch.Quadro4000()})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer ms.Close()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	srv := ipc.ServeWithHooks(l, ms.Handle, ms.RegisterVP, ms.DisconnectVP)
+	defer srv.Close()
+	addr := srv.Addr().String()
+
+	dial := func(vp int) (ipc.Client, error) {
+		c, err := ipc.DialWithOptions(addr, vp, ipc.DialOptions{
+			Codec: ipc.CodecBinary, CallTimeout: 10 * time.Second,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.Call(ipc.SyncReq{}); err != nil {
+			c.Close()
+			return nil, err
+		}
+		return c, nil
+	}
+	victim, err := dial(0)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("victim dial: %w", err)
+	}
+	defer victim.Close()
+
+	var (
+		shedCount int64
+		aggErr    atomic.Value
+		stopAgg   = make(chan struct{})
+		aggWG     sync.WaitGroup
+	)
+	if contended {
+		submitters := oversub * overloadCapJobs
+		const perConn = 8
+		nConns := (submitters + perConn - 1) / perConn
+		aggConns := make([]ipc.Client, nConns)
+		aggDst := make([]devmem.Ptr, nConns)
+		for i := range aggConns {
+			c, err := dial(1)
+			if err != nil {
+				return nil, 0, 0, fmt.Errorf("aggressor dial %d: %w", i, err)
+			}
+			defer c.Close()
+			aggConns[i] = c
+			resp, err := c.Call(ipc.MallocReq{Size: 32 << 10})
+			if err != nil {
+				return nil, 0, 0, fmt.Errorf("aggressor malloc: %w", err)
+			}
+			aggDst[i] = resp.(ipc.MallocResp).Ptr
+		}
+		payload := bytes.Repeat([]byte{0xA5}, overloadSmallPayload)
+		for i := 0; i < submitters; i++ {
+			aggWG.Add(1)
+			go func(i int) {
+				defer aggWG.Done()
+				c := aggConns[i/perConn]
+				dst := aggDst[i/perConn]
+				for {
+					select {
+					case <-stopAgg:
+						return
+					default:
+					}
+					_, err := c.Call(ipc.H2DReq{Dst: dst, Stream: i % perConn, Data: payload})
+					switch _, ok := ipc.AsOverload(err); {
+					case err == nil:
+					case ok:
+						atomic.AddInt64(&shedCount, 1)
+					default:
+						aggErr.Store(fmt.Errorf("aggressor %d: %w", i, err))
+						return
+					}
+				}
+			}(i)
+		}
+		defer func() {
+			close(stopAgg)
+			aggWG.Wait()
+		}()
+		deadline := time.Now().Add(10 * time.Second)
+		for atomic.LoadInt64(&shedCount) == 0 {
+			if e := aggErr.Load(); e != nil {
+				return nil, 0, 0, e.(error)
+			}
+			if time.Now().After(deadline) {
+				return nil, 0, 0, fmt.Errorf("aggressors never overloaded the farm")
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
+	bench, err := kernels.Get("vectorAdd")
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	ctx := cudart.NewContext(0, cudart.NewRemoteBackend(victim))
+	w := bench.MakeWorkload(1)
+	launch := bench.NewLaunch(w)
+	launch.Bindings = map[string]devmem.Ptr{}
+	for _, decl := range bench.Kernel.Bufs {
+		ptr, err := ctx.Malloc(w.BufBytes[decl.Name])
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("malloc %s: %w", decl.Name, err)
+		}
+		launch.Bindings[decl.Name] = ptr
+	}
+	for it := 0; it < iters; it++ {
+		if contended && it == iters/2 {
+			// Live-migrate the victim onto the overloaded device, from its
+			// own connection: farm-admin requests bypass the migration gate,
+			// so a VP may move itself.
+			resp, err := victim.Call(ipc.MigrateReq{VP: 0, Target: 1})
+			if err != nil {
+				return nil, 0, 0, fmt.Errorf("iter %d migrate: %w", it, err)
+			}
+			if _, ok := resp.(ipc.OKResp); !ok {
+				return nil, 0, 0, fmt.Errorf("iter %d migrate: unexpected response %T", it, resp)
+			}
+		}
+		for _, decl := range bench.Kernel.Bufs {
+			data, ok := w.Inputs[decl.Name]
+			if !ok {
+				continue
+			}
+			if err := ctx.MemcpyH2D(launch.Bindings[decl.Name], data); err != nil {
+				return nil, 0, 0, fmt.Errorf("iter %d h2d %s: %w", it, decl.Name, err)
+			}
+		}
+		if err := ctx.LaunchKernelAsync(it%2, launch); err != nil {
+			return nil, 0, 0, fmt.Errorf("iter %d launch: %w", it, err)
+		}
+		if err := ctx.DeviceSynchronize(); err != nil {
+			return nil, 0, 0, fmt.Errorf("iter %d sync: %w", it, err)
+		}
+	}
+	out := bench.Kernel.Bufs[len(bench.Kernel.Bufs)-1].Name
+	d2h, err = ctx.MemcpyD2H(launch.Bindings[out], int(w.BufBytes[out]))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return d2h, atomic.LoadInt64(&shedCount), ms.MigrationSnapshot().CounterValue("core.migrate.migrations"), nil
+}

@@ -3,6 +3,7 @@ package hostgpu
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -524,6 +525,41 @@ func (g *GPU) SyncStream(stream int) float64 {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.streamReady[stream]
+}
+
+// StreamFrontier is one simulated stream clock: the stream id and the time
+// at which all work submitted to it completes.
+type StreamFrontier struct {
+	Stream int
+	Ready  float64
+}
+
+// StreamFrontiers exports the simulated clocks of every stream in [lo, hi),
+// sorted by stream id — the per-VP stream window a migration checkpoint
+// carries so causal ordering survives a device move.
+func (g *GPU) StreamFrontiers(lo, hi int) []StreamFrontier {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []StreamFrontier
+	for s, t := range g.streamReady {
+		if s >= lo && s < hi {
+			out = append(out, StreamFrontier{Stream: s, Ready: t})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stream < out[j].Stream })
+	return out
+}
+
+// LiftStream raises a stream's simulated clock to at least t; it never
+// lowers a clock. Restoring a migrated VP lifts its stream frontiers on the
+// target device so replayed streams cannot be scheduled before work they
+// already observed completing on the source device.
+func (g *GPU) LiftStream(stream int, t float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if t > g.streamReady[stream] {
+		g.streamReady[stream] = t
+	}
 }
 
 // Sync returns the simulated time at which all submitted work completes.

@@ -57,6 +57,7 @@ type pendingCall struct {
 	d2h    D2HResp
 	malloc MallocResp
 	over   OverloadResp
+	ckpt   CheckpointResp
 	errMsg string
 	err    error // transport-level failure, nil on delivery
 }
@@ -77,7 +78,7 @@ var pendingPool = sync.Pool{New: func() any {
 
 func getPending() *pendingCall {
 	p := pendingPool.Get().(*pendingCall)
-	p.kind, p.ok, p.d2h, p.malloc, p.over, p.errMsg, p.err = 0, OKResp{}, D2HResp{}, MallocResp{}, OverloadResp{}, "", nil
+	p.kind, p.ok, p.d2h, p.malloc, p.over, p.ckpt, p.errMsg, p.err = 0, OKResp{}, D2HResp{}, MallocResp{}, OverloadResp{}, CheckpointResp{}, "", nil
 	return p
 }
 
@@ -241,6 +242,11 @@ func (c *binClient) readLoop(conn net.Conn, gen int) {
 			data := make([]byte, len(view))
 			copy(data, view)
 			p.d2h = D2HResp{Data: data, End: rd.float64()}
+		case msgCheckpointResp:
+			view := rd.bytesView()
+			data := make([]byte, len(view))
+			copy(data, view)
+			p.ckpt = CheckpointResp{Data: data}
 		default:
 			rd.fail("unexpected response type %d", typ)
 		}
@@ -415,6 +421,8 @@ func (c *binClient) Call(req any) (resp any, err error) {
 		return p.malloc, nil
 	case msgD2HResp:
 		return p.d2h, nil
+	case msgCheckpointResp:
+		return p.ckpt, nil
 	}
 	return nil, wireError("unexpected response kind %d", p.kind)
 }

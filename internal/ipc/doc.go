@@ -1,0 +1,30 @@
+// Package ipc implements the IPC Manager of the ΣVP architecture (paper
+// Fig. 2): the channel through which virtual embedded GPUs inside VPs talk
+// to the host-GPU service. Two transports are provided — an in-process
+// transport for co-simulated VPs and a TCP socket transport for VPs running
+// as separate processes ("an IPC method such as socket or shared memory") —
+// plus the VP Control primitive the service uses to stop and resume VPs for
+// synchronous-kernel interleaving (paper Fig. 4b).
+//
+// # Request vocabulary
+//
+// ipc.go defines the typed request/response pairs: memory management
+// (MallocReq/FreeReq), transfers (H2DReq/D2HReq/MemsetReq), kernel launches
+// (LaunchReq), synchronization (SyncReq), and the farm-admin frames
+// (MigrateReq moves a VP between a multi-device farm's devices;
+// CheckpointReq returns an encoded whole-farm image — see internal/core and
+// DESIGN.md §15). Typed errors (errors.go) distinguish timeouts, broken
+// connections, and admission-control sheds (OverloadResp → OverloadError,
+// retryable with a server-suggested backoff).
+//
+// # Wire codecs
+//
+// Two codecs share the TCP transport: a gob stream (the negotiated
+// fallback, also used by the fault-injector's corruption tests) and a
+// hand-rolled length-prefixed binary codec (wire.go) with pooled buffers
+// and zero steady-state allocations on the fast path. Codec negotiation
+// rides on the first byte of the client's hello; the server speaks
+// whichever codec the client chose. Clients may pipeline: several calls of
+// one VP can be in flight at once, each matched to its response by frame
+// id.
+package ipc

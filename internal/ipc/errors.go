@@ -19,6 +19,7 @@ type TimeoutError struct {
 	After time.Duration // the deadline that was exceeded
 }
 
+// Error names the operation and the deadline it exceeded.
 func (e *TimeoutError) Error() string {
 	return fmt.Sprintf("ipc: %s timed out after %v", e.Op, e.After)
 }
@@ -34,10 +35,12 @@ type DisconnectError struct {
 	Cause error
 }
 
+// Error names the operation the connection died under and its cause.
 func (e *DisconnectError) Error() string {
 	return fmt.Sprintf("ipc: connection lost during %s: %v", e.Op, e.Cause)
 }
 
+// Unwrap exposes the underlying transport error to errors.Is/As.
 func (e *DisconnectError) Unwrap() error { return e.Cause }
 
 // OverloadError reports an admission-control rejection decoded from an
@@ -53,6 +56,7 @@ type OverloadError struct {
 	Retryable bool
 }
 
+// Error renders the server's shed message.
 func (e *OverloadError) Error() string {
 	return fmt.Sprintf("ipc: overloaded: %s", e.Msg)
 }

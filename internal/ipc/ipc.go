@@ -1,10 +1,8 @@
-// Package ipc implements the IPC Manager of the ΣVP architecture (paper
-// Fig. 2): the channel through which virtual embedded GPUs inside VPs talk
-// to the host-GPU service. Two transports are provided — an in-process
-// transport for co-simulated VPs and a TCP socket transport for VPs running
-// as separate processes ("an IPC method such as socket or shared memory") —
-// plus the VP Control primitive the service uses to stop and resume VPs for
-// synchronous-kernel interleaving (paper Fig. 4b).
+// Core transports and request vocabulary of the IPC Manager (paper
+// Fig. 2): the in-process pipe transport, the TCP socket transport with its
+// gob codec, and the typed request/response pairs both codecs carry. See
+// doc.go for the package overview and wire.go for the binary codec.
+
 package ipc
 
 import (
@@ -97,6 +95,23 @@ type OverloadResp struct {
 	Retryable bool
 }
 
+// MigrateReq asks a multi-device service to live-migrate a VP's device-side
+// context onto the target device (a farm-admin request: any connection may
+// send it, and single-device services reject it).
+type MigrateReq struct {
+	VP     int
+	Target int
+}
+
+// CheckpointReq asks the service for a serialized image of its device-side
+// state (core.Checkpoint). Codec selects the checkpoint serialization
+// ("gob" or "binary"; empty means binary) — independent of the wire codec
+// the request itself travels on.
+type CheckpointReq struct{ Codec string }
+
+// CheckpointResp carries the encoded checkpoint image.
+type CheckpointResp struct{ Data []byte }
+
 // hello is the first frame of a TCP session, identifying the VP.
 type hello struct{ VP int }
 
@@ -128,6 +143,9 @@ func init() {
 	gob.Register(OKResp{})
 	gob.Register(ErrResp{})
 	gob.Register(OverloadResp{})
+	gob.Register(MigrateReq{})
+	gob.Register(CheckpointReq{})
+	gob.Register(CheckpointResp{})
 	gob.Register(kpl.Value{})
 }
 
@@ -600,6 +618,7 @@ const (
 	CodecGob
 )
 
+// String returns the codec's flag vocabulary name ("binary" or "gob").
 func (k CodecKind) String() string {
 	if k == CodecGob {
 		return "gob"

@@ -22,6 +22,7 @@
 // frame is always < 0x80, while the binary hello opens with wireMagic
 // (0xD5). The server sniffs that byte and speaks whichever codec the client
 // chose, so old gob peers keep working against a new server.
+
 package ipc
 
 import (
@@ -63,6 +64,9 @@ const (
 	msgOKResp
 	msgErrResp
 	msgOverloadResp
+	msgMigrateReq
+	msgCheckpointReq
+	msgCheckpointResp
 )
 
 // ErrMalformedFrame is the sentinel for every binary-codec decode failure:
@@ -162,6 +166,16 @@ func appendMsg(buf []byte, id uint64, body any) ([]byte, error) {
 			retry = 1
 		}
 		buf = append(buf, retry)
+	case MigrateReq:
+		buf = beginFrame(buf, msgMigrateReq, id)
+		buf = appendInt(buf, m.VP)
+		buf = appendInt(buf, m.Target)
+	case CheckpointReq:
+		buf = beginFrame(buf, msgCheckpointReq, id)
+		buf = appendString(buf, m.Codec)
+	case CheckpointResp:
+		buf = beginFrame(buf, msgCheckpointResp, id)
+		buf = appendBytes(buf, m.Data)
 	default:
 		return buf, fmt.Errorf("ipc: binary codec cannot encode %T", body)
 	}
@@ -383,6 +397,15 @@ func decodeMsg(b []byte) (id uint64, body any, err error) {
 		m := OverloadResp{Msg: rd.string()}
 		m.Backoff = time.Duration(rd.varint())
 		m.Retryable = rd.byte() != 0
+		return id, m, rd.done()
+	case msgMigrateReq:
+		m := MigrateReq{VP: rd.int(), Target: rd.int()}
+		return id, m, rd.done()
+	case msgCheckpointReq:
+		m := CheckpointReq{Codec: rd.string()}
+		return id, m, rd.done()
+	case msgCheckpointResp:
+		m := CheckpointResp{Data: rd.bytesView()}
 		return id, m, rd.done()
 	default:
 		return id, nil, wireError("unknown message type %d", typ)

@@ -16,6 +16,7 @@ const (
 	EventDispatched = "dispatched" // job started on its engine
 	EventCompleted  = "completed"  // job finished (Err carries any failure)
 	EventCancelled  = "cancelled"  // job orphaned (VP disconnect) and never ran
+	EventMigrated   = "migrated"   // VP context moved between devices (no job attached)
 )
 
 // kindRank orders kinds by lifecycle stage for sorting.
@@ -25,6 +26,7 @@ var kindRank = map[string]int{
 	EventDispatched: 2,
 	EventCompleted:  3,
 	EventCancelled:  4,
+	EventMigrated:   5,
 }
 
 // Event is one lifecycle transition of one job. All timestamps are simulated

@@ -1,0 +1,11 @@
+// Package profile defines the execution profile a GPU run emits — the
+// paper's Profiler output: "the number of executed instructions (per
+// instruction type), the elapsed clock cycles, and the percentages of each
+// occurred stall" (Section 2), plus the cache statistics and energy the
+// power study needs.
+//
+// Profiles are the interchange format between the device model
+// (internal/hostgpu), which emits them, and the estimator
+// (internal/estimate), which consumes a host profile to predict a target's
+// time and power (Section 4).
+package profile

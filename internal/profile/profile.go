@@ -1,8 +1,3 @@
-// Package profile defines the execution profile a GPU run emits — the
-// paper's Profiler output: "the number of executed instructions (per
-// instruction type), the elapsed clock cycles, and the percentages of each
-// occurred stall" (Section 2), plus the cache statistics and energy the
-// power study needs.
 package profile
 
 import (

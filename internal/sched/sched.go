@@ -1,11 +1,3 @@
-// Package sched implements the Job Queue and the Re-scheduler of the ΣVP
-// host service (paper Fig. 2). Jobs from multiple VPs accumulate in the
-// queue; the Re-scheduler produces a dispatch order that (a) preserves each
-// VP's partial order and any explicit dependencies — it is the paper's
-// "non-preemptive, optimal scheduler augmented for job dependencies" [14] —
-// and (b) under the interleaving policy, alternates copy-engine and
-// compute-engine jobs so the two engines overlap (Kernel Interleaving,
-// paper Figs. 3–4).
 package sched
 
 import (

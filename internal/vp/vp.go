@@ -1,9 +1,3 @@
-// Package vp models a virtual platform instance: a QEMU-style guest machine
-// with a binary-translated ARM CPU, a local simulated clock, the VP Control
-// gate the host service can stop and resume, and a virtual embedded GPU
-// exposed to guest applications through a cudart context. Guest applications
-// are ordinary Go functions over the context — the same application runs on
-// the emulation back end and on the ΣVP back end without change.
 package vp
 
 import (
